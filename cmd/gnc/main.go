@@ -1,0 +1,133 @@
+// Command gnc is the compiler driver (the Galadriel & Nenya stand-in):
+// it compiles a MiniJ source file into the datapath/fsm/rtg XML dialects
+// and, on request, their dot/java/hds translations.
+//
+// Usage:
+//
+//	gnc -src fdct.mj -func fdct -size img=4096 -size tmp=4096 \
+//	    -size out=4096 -arg nblocks=64 -out build/ -emit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cmd/internal/cliutil"
+	"repro/internal/compiler"
+	"repro/internal/lang"
+	"repro/internal/xmlspec"
+	"repro/internal/xsl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gnc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		srcPath  = flag.String("src", "", "MiniJ source file")
+		funcName = flag.String("func", "", "function to compile")
+		outDir   = flag.String("out", "build", "output directory")
+		auto     = flag.Int("auto", 0, "auto-split into N temporal partitions")
+		width    = flag.Int("width", 32, "datapath word width")
+		emit     = flag.Bool("emit", false, "also emit dot/java/hds translations")
+		sizes    = cliutil.KVInts{}
+		args     = cliutil.KVInt64s{}
+	)
+	flag.Var(sizes, "size", "array size: name=depth (repeatable)")
+	flag.Var(args, "arg", "scalar argument: name=value (repeatable)")
+	flag.Parse()
+	if *srcPath == "" || *funcName == "" {
+		flag.Usage()
+		return fmt.Errorf("-src and -func are required")
+	}
+	src, err := os.ReadFile(*srcPath)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	res, err := compiler.Compile(prog, *funcName, compiler.Config{
+		Width:          *width,
+		ArraySizes:     sizes,
+		ScalarArgs:     args,
+		AutoPartitions: *auto,
+	})
+	if err != nil {
+		return err
+	}
+	files, err := xmlspec.SaveDesign(res.Design, *outDir)
+	if err != nil {
+		return err
+	}
+	for label, path := range files {
+		fmt.Printf("%-24s %s\n", label, path)
+	}
+	for _, m := range res.Meta {
+		fmt.Printf("%s: datapath=%s operators=%d states=%d\n", m.ID, m.Datapath, m.Operators, m.States)
+	}
+	if !*emit {
+		return nil
+	}
+	emitOne := func(name, content string) error {
+		path := *outDir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %s\n", "emit", path)
+		return nil
+	}
+	rtgDoc, err := xmlspec.Marshal(res.Design.RTG)
+	if err != nil {
+		return err
+	}
+	if out, err := xsl.TransformBytes(xsl.RTGToDot(), rtgDoc); err != nil {
+		return err
+	} else if err := emitOne("rtg.dot", out); err != nil {
+		return err
+	}
+	if out, err := xsl.TransformBytes(xsl.RTGToJava(), rtgDoc); err != nil {
+		return err
+	} else if err := emitOne("rtg.java", out); err != nil {
+		return err
+	}
+	for name, dp := range res.Design.Datapaths {
+		doc, err := xmlspec.Marshal(dp)
+		if err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.DatapathToDot(), doc); err != nil {
+			return err
+		} else if err := emitOne(name+".dot", out); err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.DatapathToHDS(), doc); err != nil {
+			return err
+		} else if err := emitOne(name+".hds", out); err != nil {
+			return err
+		}
+	}
+	for name, fsm := range res.Design.FSMs {
+		doc, err := xmlspec.Marshal(fsm)
+		if err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.FSMToDot(), doc); err != nil {
+			return err
+		} else if err := emitOne(name+".dot", out); err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.FSMToJava(), doc); err != nil {
+			return err
+		} else if err := emitOne(name+".java", out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+// Command hsim simulates a compiled design: it loads the rtg.xml bundle
+// written by gnc, seeds the shared memories from .mem files, executes
+// the reconfiguration flow on the event-driven kernel, and writes the
+// resulting memory contents back next to the inputs.
+//
+// Usage:
+//
+//	hsim -design build/ -mem img=img.mem -cycles 10000000 -vcd waves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/cmd/internal/cliutil"
+	"repro/internal/hades"
+	"repro/internal/memfile"
+	"repro/internal/netlist"
+	"repro/internal/rtg"
+	"repro/internal/xmlspec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		designDir = flag.String("design", "build", "directory holding rtg.xml and companions")
+		cycles    = flag.Uint64("cycles", 10_000_000, "cycle cap per configuration")
+		period    = flag.Int64("period", 10, "clock period in simulator ticks")
+		vcdPrefix = flag.String("vcd", "", "dump VCD waveforms to <prefix>.<cfg>.vcd")
+		mems      = cliutil.KVStrings{}
+	)
+	flag.Var(mems, "mem", "shared memory contents: name=file (repeatable)")
+	flag.Parse()
+
+	design, err := xmlspec.LoadDesign(*designDir)
+	if err != nil {
+		return err
+	}
+	opts := rtg.Options{ClockPeriod: hades.Time(*period), MaxCycles: *cycles}
+	var vcdFiles []*os.File
+	defer func() {
+		for _, f := range vcdFiles {
+			f.Close()
+		}
+	}()
+	if *vcdPrefix != "" {
+		opts.Observer = func(cfgID string, el *netlist.Elaboration) {
+			path := fmt.Sprintf("%s.%s.vcd", *vcdPrefix, cfgID)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hsim: vcd:", err)
+				return
+			}
+			vcdFiles = append(vcdFiles, f)
+			w := hades.NewVCDWriter(f)
+			w.AddAll(el.Sim)
+			w.Header(cfgID)
+			fmt.Println("vcd:", path)
+		}
+	}
+	ctl, err := rtg.NewController(design, opts)
+	if err != nil {
+		return err
+	}
+	for _, m := range design.RTG.Memories {
+		path, ok := mems[m.ID]
+		if !ok {
+			if m.File != "" {
+				candidate := filepath.Join(*designDir, m.File)
+				if _, err := os.Stat(candidate); err == nil {
+					path = candidate
+				}
+			}
+			if path == "" {
+				continue // zero-initialised
+			}
+		}
+		words, err := memfile.LoadSized(path, m.Depth)
+		if err != nil {
+			return err
+		}
+		if err := ctl.LoadMemory(m.ID, words); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s from %s (%d words)\n", m.ID, path, m.Depth)
+	}
+
+	res, err := ctl.Execute()
+	if err != nil {
+		return err
+	}
+	for _, run := range res.Runs {
+		fmt.Printf("configuration %-8s cycles=%-8d events=%-10d final=%-6s wall=%v\n",
+			run.ID, run.Cycles, run.Events, run.FinalState, run.Wall)
+	}
+	if !res.Completed {
+		return fmt.Errorf("simulation incomplete (cycle cap %d)", *cycles)
+	}
+	for _, id := range ctl.MemoryIDs() {
+		words, err := ctl.Memory(id)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(*designDir, id+".out.mem")
+		if err := memfile.Save(out, words, "simulated contents of "+id); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+	fmt.Printf("total cycles: %d\n", res.TotalCycles)
+	return nil
+}

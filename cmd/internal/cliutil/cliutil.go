@@ -1,0 +1,64 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// KVInts collects repeated -flag name=int values.
+type KVInts map[string]int
+
+// String renders the current value.
+func (m KVInts) String() string { return fmt.Sprint(map[string]int(m)) }
+
+// Set parses one name=int pair.
+func (m KVInts) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.Atoi(val)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	m[name] = v
+	return nil
+}
+
+// KVInt64s collects repeated -flag name=int64 values.
+type KVInt64s map[string]int64
+
+// String renders the current value.
+func (m KVInt64s) String() string { return fmt.Sprint(map[string]int64(m)) }
+
+// Set parses one name=int64 pair.
+func (m KVInt64s) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	m[name] = v
+	return nil
+}
+
+// KVStrings collects repeated -flag name=string values.
+type KVStrings map[string]string
+
+// String renders the current value.
+func (m KVStrings) String() string { return fmt.Sprint(map[string]string(m)) }
+
+// Set parses one name=string pair.
+func (m KVStrings) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	m[name] = val
+	return nil
+}

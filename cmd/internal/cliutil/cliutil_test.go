@@ -1,0 +1,53 @@
+package cliutil
+
+import "testing"
+
+func TestKVInts(t *testing.T) {
+	m := KVInts{}
+	if err := m.Set("a=4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("b=16"); err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != 4 || m["b"] != 16 {
+		t.Fatalf("m=%v", m)
+	}
+	for _, bad := range []string{"a", "a=x", "=", ""} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) must fail", bad)
+		}
+	}
+	if m.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestKVInt64s(t *testing.T) {
+	m := KVInt64s{}
+	if err := m.Set("n=-9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("h=0x10"); err != nil {
+		t.Fatal(err)
+	}
+	if m["n"] != -9 || m["h"] != 16 {
+		t.Fatalf("m=%v", m)
+	}
+	if err := m.Set("bad"); err == nil {
+		t.Error("missing = must fail")
+	}
+}
+
+func TestKVStrings(t *testing.T) {
+	m := KVStrings{}
+	if err := m.Set("img=path/to.mem"); err != nil {
+		t.Fatal(err)
+	}
+	if m["img"] != "path/to.mem" {
+		t.Fatalf("m=%v", m)
+	}
+	if err := m.Set("noval"); err == nil {
+		t.Error("missing = must fail")
+	}
+}

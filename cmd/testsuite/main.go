@@ -1,0 +1,104 @@
+// Command testsuite is the ANT-build analog: one command re-verifies the
+// compiler's regression suite by functional simulation against the golden
+// algorithm, and optionally regenerates the paper's Table I.
+//
+// Usage:
+//
+//	testsuite                 # run the regression suite
+//	testsuite -table1         # reproduce Table I (FDCT1/FDCT2/Hamming)
+//	testsuite -pixels 65536   # Table I FDCTs over a larger image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "testsuite:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table1  = flag.Bool("table1", false, "reproduce the paper's Table I")
+		pixels  = flag.Int("pixels", 4096, "FDCT image size in pixels (Table I uses 4096)")
+		words   = flag.Int("words", 64, "Hamming codeword count")
+		workDir = flag.String("workdir", "", "write XML/dot/java/hds/mem artifacts here")
+	)
+	flag.Parse()
+
+	opts := core.Options{WorkDir: *workDir, EmitArtifacts: *workDir != ""}
+	if *table1 {
+		return runTable1(*pixels, *words, opts)
+	}
+	suite := regressionSuite(*pixels, *words)
+	res := suite.Run(opts)
+	res.Report(os.Stdout)
+	if !res.Passed() {
+		return fmt.Errorf("suite failed")
+	}
+	return nil
+}
+
+func regressionSuite(pixels, words int) *core.Suite {
+	s := &core.Suite{Name: "compiler-regression"}
+	add := func(tc core.TestCase) { s.Cases = append(s.Cases, tc) }
+
+	src, sizes, args, inputs := workloads.FDCTCase("fdct1", pixels, false, 42)
+	add(core.TestCase{Name: "fdct1", Source: src, Func: "fdct",
+		ArraySizes: sizes, ScalarArgs: args, Inputs: inputs})
+	src2, sizes2, args2, inputs2 := workloads.FDCTCase("fdct2", pixels, true, 42)
+	add(core.TestCase{Name: "fdct2", Source: src2, Func: "fdct",
+		ArraySizes: sizes2, ScalarArgs: args2, Inputs: inputs2})
+	hs, ha, hi, hx := workloads.HammingCase(words, 9)
+	add(core.TestCase{Name: "hamming", Source: workloads.HammingSource, Func: "hamming",
+		ArraySizes: hs, ScalarArgs: ha, Inputs: hi,
+		Expected: map[string][]int64{"out": hx}})
+	return s
+}
+
+func runTable1(pixels, words int, opts core.Options) error {
+	fmt.Printf("Table I reproduction (image: %d pixels, %d DCT blocks; hamming: %d codewords)\n\n",
+		pixels/64*64, pixels/64, words)
+	fmt.Printf("%-10s %7s %9s %11s %8s %10s %12s\n",
+		"Example", "loJava", "loXML-FSM", "loXML-dpath", "loJavaFSM", "operators", "sim-time")
+
+	suite := regressionSuite(pixels, words)
+	start := time.Now()
+	for _, tc := range suite.Cases {
+		res, err := core.RunCase(tc, opts)
+		if err != nil {
+			return err
+		}
+		if res.Err != nil {
+			return res.Err
+		}
+		if !res.Passed {
+			return fmt.Errorf("%s: verification FAILED: %v", tc.Name, res.Failed())
+		}
+		for i, p := range res.Partitions {
+			label := tc.Name
+			if len(res.Partitions) > 1 {
+				label = fmt.Sprintf("%s/%s", tc.Name, p.ID)
+			}
+			loJava := ""
+			if i == 0 {
+				loJava = fmt.Sprint(res.SourceLoC)
+			}
+			fmt.Printf("%-10s %7s %9d %11d %8d %10d %12v\n",
+				label, loJava, p.XMLFSMLoC, p.XMLDatapathLoC, p.JavaFSMLoC,
+				p.Operators, p.SimWall.Round(time.Millisecond))
+		}
+	}
+	fmt.Printf("\nall cases verified against the golden algorithm in %v\n",
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}

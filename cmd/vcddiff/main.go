@@ -1,0 +1,54 @@
+// Command vcddiff compares two VCD waveform dumps (e.g. from hsim -vcd
+// runs before and after a compiler change) and reports diverging signal
+// activity — waveforms as regression artifacts.
+//
+// Usage:
+//
+//	vcddiff golden.cfg1.vcd current.cfg1.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/vcd"
+)
+
+func main() {
+	max := flag.Int("max", 20, "maximum differences to report (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vcddiff [-max N] <a.vcd> <b.vcd>")
+		os.Exit(2)
+	}
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcddiff:", err)
+		os.Exit(1)
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcddiff:", err)
+		os.Exit(1)
+	}
+	diffs := vcd.Compare(a, b, *max)
+	if len(diffs) == 0 {
+		fmt.Printf("identical signal activity (%d signals, up to t=%d)\n", len(a.Names()), a.End)
+		return
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	fmt.Printf("%d difference(s)\n", len(diffs))
+	os.Exit(1)
+}
+
+func load(path string) (*vcd.Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return vcd.Parse(f)
+}

@@ -1,0 +1,49 @@
+// Command xml2dot translates any of the three XML dialects to Graphviz
+// dot on stdout — the paper's "to dotty" arrows.
+//
+// Usage:
+//
+//	xml2dot -in build/fdct_p1.dp.xml > fdct_p1.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xsl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xml2dot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input XML file (datapath, fsm or rtg)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	root, err := xsl.Parse(data)
+	if err != nil {
+		return err
+	}
+	sheet, err := xsl.ForDocument(root)
+	if err != nil {
+		return err
+	}
+	out, err := xsl.Transform(sheet, root)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.WriteString(out)
+	return err
+}

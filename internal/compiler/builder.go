@@ -1,0 +1,668 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/operators"
+	"repro/internal/xmlspec"
+)
+
+// builder compiles one temporal partition (a statement list) into a
+// datapath and its FSM. The mapping is spatial, as Nenya's operator
+// counts indicate: every source-level operation instantiates its own
+// functional unit; registers hold scalars; multi-writer registers and
+// RAM ports get multiplexers; each statement takes one control step and
+// each array read an additional load step.
+type builder struct {
+	name  string
+	width int
+
+	ops   []xmlspec.Operator
+	conns []xmlspec.Connection
+
+	opCount  map[string]int
+	constIDs map[int64]string
+
+	scalarArgs map[string]int64
+	arraySizes map[string]int
+
+	regs     map[string]string   // variable -> reg id
+	regSites map[string][]string // reg id -> expr root ports (writer sites)
+
+	ramOf    map[string]string   // array -> ram id
+	ramAddrs map[string][]string // ram id -> addr ports (read+write sites)
+	ramDins  map[string][]string // ram id -> din ports (write sites)
+
+	loadRegs []string // load register ids (en controls)
+
+	statuses []xmlspec.Status
+
+	states []*xmlspec.State
+}
+
+type dangle struct{ si, ti int }
+
+// chain tracks the control-flow frontier during statement compilation.
+type chain struct {
+	entry int
+	outs  []dangle
+}
+
+func newChain() *chain { return &chain{entry: -1} }
+
+func newBuilder(name string, width int, scalarArgs map[string]int64, arraySizes map[string]int) *builder {
+	return &builder{
+		name:       name,
+		width:      width,
+		opCount:    map[string]int{},
+		constIDs:   map[int64]string{},
+		scalarArgs: scalarArgs,
+		arraySizes: arraySizes,
+		regs:       map[string]string{},
+		regSites:   map[string][]string{},
+		ramOf:      map[string]string{},
+		ramAddrs:   map[string][]string{},
+		ramDins:    map[string][]string{},
+	}
+}
+
+// newOp appends an operator instance and returns its id.
+func (b *builder) newOp(typ string, mutate func(*xmlspec.Operator)) string {
+	id := fmt.Sprintf("%s%d", typ, b.opCount[typ])
+	b.opCount[typ]++
+	op := xmlspec.Operator{ID: id, Type: typ}
+	if mutate != nil {
+		mutate(&op)
+	}
+	b.ops = append(b.ops, op)
+	return id
+}
+
+func (b *builder) connect(from, to string) {
+	b.conns = append(b.conns, xmlspec.Connection{From: from, To: to})
+}
+
+// constOf returns the (deduplicated) constant operator driving val.
+func (b *builder) constOf(val int64) string {
+	if id, ok := b.constIDs[val]; ok {
+		return id
+	}
+	id := b.newOp("const", func(op *xmlspec.Operator) { op.Value = val })
+	b.constIDs[val] = id
+	return id
+}
+
+// regOf returns the register holding a scalar variable, creating it on
+// first use (power-on value 0, or the argument value for scalar params).
+func (b *builder) regOf(name string) string {
+	if id, ok := b.regs[name]; ok {
+		return id
+	}
+	id := "r_" + name
+	init := int64(0)
+	if v, ok := b.scalarArgs[name]; ok {
+		init = v
+	}
+	b.ops = append(b.ops, xmlspec.Operator{ID: id, Type: "reg", Value: init})
+	b.regs[name] = id
+	return id
+}
+
+// ramOfArray returns the RAM bound to an array parameter, creating it on
+// first use; it references the RTG shared memory of the same name.
+func (b *builder) ramOfArray(name string) string {
+	if id, ok := b.ramOf[name]; ok {
+		return id
+	}
+	id := "m_" + name
+	depth := b.arraySizes[name]
+	b.ops = append(b.ops, xmlspec.Operator{ID: id, Type: "ram", Depth: depth, Ref: name})
+	b.ramOf[name] = id
+	return id
+}
+
+// States and control flow ---------------------------------------------
+
+func (b *builder) newState() int {
+	idx := len(b.states)
+	b.states = append(b.states, &xmlspec.State{Name: fmt.Sprintf("S%d", idx)})
+	return idx
+}
+
+func (b *builder) patch(d dangle, target int) {
+	b.states[d.si].Transitions[d.ti].Next = b.states[target].Name
+}
+
+func (b *builder) patchAll(ds []dangle, target int) {
+	for _, d := range ds {
+		b.patch(d, target)
+	}
+}
+
+// join makes target the successor of the chain frontier.
+func (b *builder) join(c *chain, target int) {
+	if c.entry == -1 {
+		c.entry = target
+	}
+	b.patchAll(c.outs, target)
+	c.outs = nil
+}
+
+// addSeqState appends a sequential state (single fall-through edge).
+func (b *builder) addSeqState(c *chain) int {
+	si := b.newState()
+	b.join(c, si)
+	st := b.states[si]
+	st.Transitions = append(st.Transitions, xmlspec.Transition{})
+	c.outs = []dangle{{si, len(st.Transitions) - 1}}
+	return si
+}
+
+func (b *builder) assign(si int, signal string, val int64) {
+	st := b.states[si]
+	st.Assigns = append(st.Assigns, xmlspec.Assign{Signal: signal, Value: val})
+}
+
+// Expressions -----------------------------------------------------------
+
+// binOpType maps MiniJ binary operators to operator-library types.
+var binOpType = map[lang.BinOp]string{
+	lang.OpAdd: "add", lang.OpSub: "sub", lang.OpMul: "mul",
+	lang.OpDiv: "div", lang.OpMod: "mod",
+	lang.OpShl: "shl", lang.OpShr: "sra", lang.OpUshr: "shr",
+	lang.OpAnd: "and", lang.OpOr: "or", lang.OpXor: "xor",
+}
+
+// cmpOpType maps comparison operators (1-bit results).
+var cmpOpType = map[lang.BinOp]string{
+	lang.OpEq: "eq", lang.OpNe: "ne", lang.OpLt: "lt",
+	lang.OpLe: "le", lang.OpGt: "gt", lang.OpGe: "ge",
+}
+
+func isBitExpr(e lang.Expr) bool {
+	switch ex := e.(type) {
+	case *lang.BinaryExpr:
+		if _, ok := cmpOpType[ex.Op]; ok {
+			return true
+		}
+		return ex.Op == lang.OpLAnd || ex.Op == lang.OpLOr
+	case *lang.UnaryExpr:
+		return ex.Op == lang.OpLNot
+	}
+	return false
+}
+
+// compileExpr emits the operator tree for e in value (word) context and
+// returns the driving endpoint. Array reads append load states to c.
+func (b *builder) compileExpr(e lang.Expr, c *chain) (string, error) {
+	if isBitExpr(e) {
+		bit, err := b.compileCond(e, c)
+		if err != nil {
+			return "", err
+		}
+		id := b.newOp("b2i", nil)
+		b.connect(bit, id+".a")
+		return id + ".y", nil
+	}
+	switch ex := e.(type) {
+	case *lang.IntLit:
+		return b.constOf(ex.Val) + ".y", nil
+	case *lang.VarRef:
+		if _, isArg := b.scalarArgs[ex.Name]; isArg {
+			if _, isVar := b.regs[ex.Name]; !isVar {
+				// Scalar parameter: a design constant.
+				return b.constOf(b.scalarArgs[ex.Name]) + ".y", nil
+			}
+		}
+		return b.regOf(ex.Name) + ".q", nil
+	case *lang.IndexExpr:
+		return b.compileLoad(ex, c)
+	case *lang.UnaryExpr:
+		var typ string
+		switch ex.Op {
+		case lang.OpNeg:
+			typ = "neg"
+		case lang.OpBNot:
+			typ = "not"
+		default:
+			return "", fmt.Errorf("compiler: unhandled unary %q", ex.Op)
+		}
+		x, err := b.compileExpr(ex.X, c)
+		if err != nil {
+			return "", err
+		}
+		id := b.newOp(typ, nil)
+		b.connect(x, id+".a")
+		return id + ".y", nil
+	case *lang.BinaryExpr:
+		typ, ok := binOpType[ex.Op]
+		if !ok {
+			return "", fmt.Errorf("compiler: unhandled binary %q", ex.Op)
+		}
+		l, err := b.compileExpr(ex.L, c)
+		if err != nil {
+			return "", err
+		}
+		r, err := b.compileExpr(ex.R, c)
+		if err != nil {
+			return "", err
+		}
+		id := b.newOp(typ, nil)
+		b.connect(l, id+".a")
+		b.connect(r, id+".b")
+		return id + ".y", nil
+	default:
+		return "", fmt.Errorf("compiler: unknown expression %T", e)
+	}
+}
+
+// compileCond emits e in 1-bit (guard) context.
+func (b *builder) compileCond(e lang.Expr, c *chain) (string, error) {
+	switch ex := e.(type) {
+	case *lang.BinaryExpr:
+		if typ, ok := cmpOpType[ex.Op]; ok {
+			l, err := b.compileExpr(ex.L, c)
+			if err != nil {
+				return "", err
+			}
+			r, err := b.compileExpr(ex.R, c)
+			if err != nil {
+				return "", err
+			}
+			id := b.newOp(typ, nil)
+			b.connect(l, id+".a")
+			b.connect(r, id+".b")
+			return id + ".y", nil
+		}
+		if ex.Op == lang.OpLAnd || ex.Op == lang.OpLOr {
+			typ := "and"
+			if ex.Op == lang.OpLOr {
+				typ = "or"
+			}
+			l, err := b.compileCond(ex.L, c)
+			if err != nil {
+				return "", err
+			}
+			r, err := b.compileCond(ex.R, c)
+			if err != nil {
+				return "", err
+			}
+			id := b.newOp(typ, func(op *xmlspec.Operator) { op.Width = 1 })
+			b.connect(l, id+".a")
+			b.connect(r, id+".b")
+			return id + ".y", nil
+		}
+	case *lang.UnaryExpr:
+		if ex.Op == lang.OpLNot {
+			x, err := b.compileExpr(ex.X, c)
+			if err != nil {
+				return "", err
+			}
+			id := b.newOp("lnot", nil)
+			b.connect(x, id+".a")
+			return id + ".y", nil
+		}
+	}
+	// General integer condition: non-zero test.
+	x, err := b.compileExpr(e, c)
+	if err != nil {
+		return "", err
+	}
+	id := b.newOp("ne", nil)
+	b.connect(x, id+".a")
+	b.connect(b.constOf(0)+".y", id+".b")
+	return id + ".y", nil
+}
+
+// compileLoad emits one array read: an address site on the RAM, a
+// dedicated load register, and one control step that selects the address
+// and captures dout.
+func (b *builder) compileLoad(ex *lang.IndexExpr, c *chain) (string, error) {
+	addrPort, err := b.compileExpr(ex.Index, c)
+	if err != nil {
+		return "", err
+	}
+	ram := b.ramOfArray(ex.Array)
+	site := len(b.ramAddrs[ram])
+	b.ramAddrs[ram] = append(b.ramAddrs[ram], addrPort)
+
+	ld := fmt.Sprintf("ld%d", len(b.loadRegs))
+	b.loadRegs = append(b.loadRegs, ld)
+	b.ops = append(b.ops, xmlspec.Operator{ID: ld, Type: "reg"})
+	b.connect(ram+".dout", ld+".d")
+
+	si := b.addSeqState(c)
+	b.assign(si, "asel_"+ram, int64(site))
+	b.assign(si, "en_"+ld, 1)
+	return ld + ".q", nil
+}
+
+// addStatus registers a 1-bit net as an FSM status input.
+func (b *builder) addStatus(port string) string {
+	name := fmt.Sprintf("s%d", len(b.statuses))
+	b.statuses = append(b.statuses, xmlspec.Status{Name: name, From: port})
+	return name
+}
+
+// Statements ------------------------------------------------------------
+
+func (b *builder) compileStmts(stmts []lang.Stmt, c *chain) error {
+	for _, s := range stmts {
+		if err := b.compileStmt(s, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) compileStmt(s lang.Stmt, c *chain) error {
+	switch st := s.(type) {
+	case *lang.PartitionStmt:
+		return fmt.Errorf("compiler: partition marker inside a partition (sema should have caught this)")
+	case *lang.DeclStmt:
+		var init lang.Expr = &lang.IntLit{Val: 0}
+		if st.Init != nil {
+			init = st.Init
+		}
+		return b.compileRegWrite(st.Name, init, c)
+	case *lang.AssignStmt:
+		return b.compileRegWrite(st.Name, st.Expr, c)
+	case *lang.StoreStmt:
+		addrPort, err := b.compileExpr(st.Index, c)
+		if err != nil {
+			return err
+		}
+		dataPort, err := b.compileExpr(st.Expr, c)
+		if err != nil {
+			return err
+		}
+		ram := b.ramOfArray(st.Array)
+		asite := len(b.ramAddrs[ram])
+		b.ramAddrs[ram] = append(b.ramAddrs[ram], addrPort)
+		dsite := len(b.ramDins[ram])
+		b.ramDins[ram] = append(b.ramDins[ram], dataPort)
+		si := b.addSeqState(c)
+		b.assign(si, "asel_"+ram, int64(asite))
+		b.assign(si, "dsel_"+ram, int64(dsite))
+		b.assign(si, "we_"+ram, 1)
+		return nil
+	case *lang.IfStmt:
+		bit, err := b.compileCond(st.Cond, c)
+		if err != nil {
+			return err
+		}
+		status := b.addStatus(bit)
+		check := b.newState()
+		b.join(c, check)
+		b.states[check].Transitions = []xmlspec.Transition{
+			{Cond: status},
+			{},
+		}
+		thenD := dangle{check, 0}
+		elseD := dangle{check, 1}
+		var outs []dangle
+
+		tc := newChain()
+		if err := b.compileStmts(st.Then, tc); err != nil {
+			return err
+		}
+		if tc.entry == -1 {
+			outs = append(outs, thenD)
+		} else {
+			b.patch(thenD, tc.entry)
+			outs = append(outs, tc.outs...)
+		}
+
+		ec := newChain()
+		if err := b.compileStmts(st.Else, ec); err != nil {
+			return err
+		}
+		if ec.entry == -1 {
+			outs = append(outs, elseD)
+		} else {
+			b.patch(elseD, ec.entry)
+			outs = append(outs, ec.outs...)
+		}
+		c.outs = outs
+		return nil
+	case *lang.WhileStmt:
+		return b.compileLoop(nil, st.Cond, nil, st.Body, c)
+	case *lang.ForStmt:
+		return b.compileLoop(st.Init, st.Cond, st.Post, st.Body, c)
+	default:
+		return fmt.Errorf("compiler: unknown statement %T", s)
+	}
+}
+
+// compileRegWrite emits expr evaluation plus one control step writing the
+// register through its (future) input multiplexer site.
+func (b *builder) compileRegWrite(name string, expr lang.Expr, c *chain) error {
+	port, err := b.compileExpr(expr, c)
+	if err != nil {
+		return err
+	}
+	reg := b.regOf(name)
+	site := len(b.regSites[reg])
+	b.regSites[reg] = append(b.regSites[reg], port)
+	si := b.addSeqState(c)
+	b.assign(si, "sel_"+reg, int64(site))
+	b.assign(si, "en_"+reg, 1)
+	return nil
+}
+
+// compileLoop handles while (init/post nil) and for loops. The guard is
+// re-evaluated each iteration: its load states are part of the loop.
+func (b *builder) compileLoop(init lang.Stmt, cond lang.Expr, post lang.Stmt, body []lang.Stmt, c *chain) error {
+	if init != nil {
+		if err := b.compileStmt(init, c); err != nil {
+			return err
+		}
+	}
+	if cond == nil {
+		// for(;;): body cycles forever; nothing after is reachable.
+		bc := newChain()
+		if err := b.compileStmts(body, bc); err != nil {
+			return err
+		}
+		if post != nil {
+			if err := b.compileStmt(post, bc); err != nil {
+				return err
+			}
+		}
+		if bc.entry == -1 {
+			// Empty infinite loop: a state that spins on itself.
+			si := b.newState()
+			b.join(c, si)
+			b.states[si].Transitions = []xmlspec.Transition{{Next: b.states[si].Name}}
+			c.outs = nil
+			return nil
+		}
+		b.join(c, bc.entry)
+		b.patchAll(bc.outs, bc.entry)
+		c.outs = nil
+		return nil
+	}
+
+	sub := newChain()
+	bit, err := b.compileCond(cond, sub)
+	if err != nil {
+		return err
+	}
+	status := b.addStatus(bit)
+	check := b.newState()
+	b.join(sub, check)
+	b.states[check].Transitions = []xmlspec.Transition{
+		{Cond: status},
+		{},
+	}
+	bodyD := dangle{check, 0}
+	exitD := dangle{check, 1}
+
+	bc := newChain()
+	if err := b.compileStmts(body, bc); err != nil {
+		return err
+	}
+	if post != nil {
+		if err := b.compileStmt(post, bc); err != nil {
+			return err
+		}
+	}
+	if bc.entry == -1 {
+		b.patch(bodyD, sub.entry)
+	} else {
+		b.patch(bodyD, bc.entry)
+		b.patchAll(bc.outs, sub.entry)
+	}
+
+	b.join(c, sub.entry)
+	c.outs = []dangle{exitD}
+	return nil
+}
+
+// Finalisation ----------------------------------------------------------
+
+// finalize materialises multiplexers, control and status declarations,
+// filters single-site select assigns, and assembles the datapath and FSM
+// documents.
+func (b *builder) finalize(body []lang.Stmt) (*xmlspec.Datapath, *xmlspec.FSM, error) {
+	c := newChain()
+	if err := b.compileStmts(body, c); err != nil {
+		return nil, nil, err
+	}
+	end := b.newState()
+	b.states[end].Name = "END" // must precede join: patches record names
+	b.join(c, end)
+	b.states[end].Final = true
+	b.states[end].Assigns = append(b.states[end].Assigns, xmlspec.Assign{Signal: "done", Value: 1})
+	b.states[c.entryOr(end)].Initial = true
+
+	var controls []xmlspec.Control
+	addCtl := func(name string, width int, targets ...string) {
+		ctl := xmlspec.Control{Name: name, Width: width}
+		for _, t := range targets {
+			ctl.Targets = append(ctl.Targets, xmlspec.ControlTo{Port: t})
+		}
+		controls = append(controls, ctl)
+	}
+
+	// Register input muxes.
+	for _, varName := range sortedKeys(b.regs) {
+		reg := b.regs[varName]
+		sites := b.regSites[reg]
+		if len(sites) == 0 {
+			// Read-only register (scalar parameter promoted to reg is
+			// impossible; sema guarantees decl-before-use, so this is a
+			// never-written variable, legal only if never read either).
+			continue
+		}
+		addCtl("en_"+reg, 1, reg+".en")
+		if len(sites) == 1 {
+			b.connect(sites[0], reg+".d")
+			continue
+		}
+		mux := b.newOp("mux", func(op *xmlspec.Operator) { op.Inputs = len(sites) })
+		for i, p := range sites {
+			b.connect(p, fmt.Sprintf("%s.in%d", mux, i))
+		}
+		b.connect(mux+".y", reg+".d")
+		addCtl("sel_"+reg, operators.AddrWidth(len(sites)), mux+".sel")
+	}
+
+	// RAM address and data muxes.
+	for _, arr := range sortedKeys(b.ramOf) {
+		ram := b.ramOf[arr]
+		addrs := b.ramAddrs[ram]
+		dins := b.ramDins[ram]
+		switch len(addrs) {
+		case 0:
+			// RAM instantiated but never accessed; leave addr untied?
+			// The ram spec requires addr; tie to constant 0.
+			b.connect(b.constOf(0)+".y", ram+".addr")
+		case 1:
+			b.connect(addrs[0], ram+".addr")
+		default:
+			mux := b.newOp("mux", func(op *xmlspec.Operator) { op.Inputs = len(addrs) })
+			for i, p := range addrs {
+				b.connect(p, fmt.Sprintf("%s.in%d", mux, i))
+			}
+			b.connect(mux+".y", ram+".addr")
+			addCtl("asel_"+ram, operators.AddrWidth(len(addrs)), mux+".sel")
+		}
+		switch len(dins) {
+		case 0: // read-only: netlist ties din/we
+		case 1:
+			b.connect(dins[0], ram+".din")
+			addCtl("we_"+ram, 1, ram+".we")
+		default:
+			mux := b.newOp("mux", func(op *xmlspec.Operator) { op.Inputs = len(dins) })
+			for i, p := range dins {
+				b.connect(p, fmt.Sprintf("%s.in%d", mux, i))
+			}
+			b.connect(mux+".y", ram+".din")
+			addCtl("dsel_"+ram, operators.AddrWidth(len(dins)), mux+".sel")
+			addCtl("we_"+ram, 1, ram+".we")
+		}
+	}
+
+	// Load register enables.
+	for _, ld := range b.loadRegs {
+		addCtl("en_"+ld, 1, ld+".en")
+	}
+
+	// Valid control set: used to drop select assigns that lost their mux.
+	valid := map[string]bool{"done": true}
+	for _, ctl := range controls {
+		valid[ctl.Name] = true
+	}
+	states := make([]xmlspec.State, 0, len(b.states))
+	for _, st := range b.states {
+		kept := st.Assigns[:0]
+		for _, a := range st.Assigns {
+			if valid[a.Signal] {
+				kept = append(kept, a)
+			}
+		}
+		st.Assigns = kept
+		states = append(states, *st)
+	}
+
+	dp := &xmlspec.Datapath{
+		Name:        b.name,
+		Width:       b.width,
+		Operators:   b.ops,
+		Connections: b.conns,
+		Controls:    controls,
+		Statuses:    b.statuses,
+	}
+	fsm := &xmlspec.FSM{Name: b.name + "_ctl"}
+	for _, st := range b.statuses {
+		fsm.Inputs = append(fsm.Inputs, xmlspec.FSMSignal{Name: st.Name, Width: 1})
+	}
+	for _, ctl := range controls {
+		fsm.Outputs = append(fsm.Outputs, xmlspec.FSMSignal{Name: ctl.Name, Width: ctl.ControlWidth()})
+	}
+	fsm.Outputs = append(fsm.Outputs, xmlspec.FSMSignal{Name: "done", Width: 1})
+	fsm.States = states
+	return dp, fsm, nil
+}
+
+func (c *chain) entryOr(fallback int) int {
+	if c.entry == -1 {
+		return fallback
+	}
+	return c.entry
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

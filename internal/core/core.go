@@ -1,0 +1,362 @@
+// Package core is the public façade of the test infrastructure: it wires
+// the compiler, the XML dialects, the transformation layer, the
+// event-driven simulator and the golden-reference interpreter into the
+// verification flow of the paper's Figure 1, and provides the regression
+// suite automation that replaces the ANT build.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/hades"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/memfile"
+	"repro/internal/rtg"
+	"repro/internal/xmlspec"
+	"repro/internal/xsl"
+)
+
+// Options tunes a flow run.
+type Options struct {
+	Width          int
+	AutoPartitions int
+	ClockPeriod    int64  // simulator ticks; default 10
+	MaxCycles      uint64 // per configuration; default 50M
+	WorkDir        string // when set, XML/dot/java/hds/mem artifacts are written here
+	EmitArtifacts  bool   // emit dot/java/hds translations (requires WorkDir)
+}
+
+// TestCase is one entry of the regression suite: a MiniJ source, its
+// design parameters, and the initial memory contents.
+type TestCase struct {
+	Name       string
+	Source     string
+	Func       string
+	ArraySizes map[string]int
+	ScalarArgs map[string]int64
+	Inputs     map[string][]int64
+	// Expected optionally pins exact expected contents per array; when
+	// nil the golden interpreter's result is the expectation (the
+	// paper's flow).
+	Expected map[string][]int64
+}
+
+// PartitionStats reports one configuration for the Table I columns.
+type PartitionStats struct {
+	ID              string
+	Operators       int
+	States          int
+	XMLDatapathLoC  int
+	XMLFSMLoC       int
+	JavaFSMLoC      int
+	Cycles          uint64
+	SimWall         time.Duration
+	SimulatedEvents uint64
+}
+
+// CaseResult reports one verified test case.
+type CaseResult struct {
+	Name       string
+	Passed     bool
+	Mismatches map[string][]memfile.Mismatch
+	Partitions []PartitionStats
+	SourceLoC  int
+	TotalOps   int
+	SimWall    time.Duration
+	RefWall    time.Duration
+	RefSteps   uint64
+	Artifacts  map[string]string // label -> path (when WorkDir set)
+	Err        error
+}
+
+// Failed lists the arrays with mismatches.
+func (r *CaseResult) Failed() []string {
+	var out []string
+	for name, ms := range r.Mismatches {
+		if len(ms) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line report.
+func (r *CaseResult) Summary() string {
+	status := "PASS"
+	if !r.Passed {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%-12s %s ops=%d sim=%v ref=%v", r.Name, status, r.TotalOps, r.SimWall, r.RefWall)
+}
+
+// CompileOnly compiles a test case's source to its design without
+// simulating, for tooling and benchmarks that manage execution directly.
+func CompileOnly(tc TestCase, opts Options) (*xmlspec.Design, error) {
+	prog, err := lang.Parse(tc.Source)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := compiler.Compile(prog, tc.Func, compiler.Config{
+		Width:          opts.Width,
+		ArraySizes:     tc.ArraySizes,
+		ScalarArgs:     tc.ScalarArgs,
+		AutoPartitions: opts.AutoPartitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return comp.Design, nil
+}
+
+// RunCase executes the full verification flow for one case: compile →
+// emit/validate XML → (optionally translate to dot/java/hds) → simulate
+// through the RTG → run the golden algorithm on copies of the memory
+// files → compare memory contents.
+func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
+	res := &CaseResult{Name: tc.Name, Mismatches: map[string][]memfile.Mismatch{}, Artifacts: map[string]string{}}
+
+	prog, err := lang.Parse(tc.Source)
+	if err != nil {
+		return nil, err
+	}
+	res.SourceLoC = countLines(tc.Source)
+
+	comp, err := compiler.Compile(prog, tc.Func, compiler.Config{
+		Width:          opts.Width,
+		ArraySizes:     tc.ArraySizes,
+		ScalarArgs:     tc.ScalarArgs,
+		AutoPartitions: opts.AutoPartitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Size metrics per partition.
+	for _, meta := range comp.Meta {
+		dpDoc, err := xmlspec.Marshal(comp.Design.Datapaths[meta.Datapath])
+		if err != nil {
+			return nil, err
+		}
+		fsmDoc, err := xmlspec.Marshal(comp.Design.FSMs[meta.FSM])
+		if err != nil {
+			return nil, err
+		}
+		javaOut, err := xsl.TransformBytes(xsl.FSMToJava(), fsmDoc)
+		if err != nil {
+			return nil, err
+		}
+		res.Partitions = append(res.Partitions, PartitionStats{
+			ID:             meta.ID,
+			Operators:      meta.Operators,
+			States:         meta.States,
+			XMLDatapathLoC: xmlspec.LineCount(dpDoc),
+			XMLFSMLoC:      xmlspec.LineCount(fsmDoc),
+			JavaFSMLoC:     countLines(javaOut),
+		})
+		res.TotalOps += meta.Operators
+	}
+
+	if opts.WorkDir != "" {
+		if err := emitArtifacts(tc, comp, opts, res); err != nil {
+			return nil, err
+		}
+	}
+
+	// Simulate.
+	ctl, err := rtg.NewController(comp.Design, rtg.Options{
+		ClockPeriod: clockPeriod(opts),
+		MaxCycles:   maxCycles(opts),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for name, depth := range tc.ArraySizes {
+		words := make([]int64, depth)
+		copy(words, tc.Inputs[name])
+		if err := ctl.LoadMemory(name, words); err != nil {
+			return nil, err
+		}
+	}
+	exec, err := ctl.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if !exec.Completed {
+		res.Err = fmt.Errorf("core: %s: simulation incomplete after cycle cap", tc.Name)
+		return res, nil
+	}
+	for i, run := range exec.Runs {
+		if i < len(res.Partitions) {
+			res.Partitions[i].Cycles = run.Cycles
+			res.Partitions[i].SimWall = run.Wall
+			res.Partitions[i].SimulatedEvents = run.Events
+		}
+		res.SimWall += run.Wall
+	}
+
+	// Golden reference on copies of the same inputs.
+	ref := map[string][]int64{}
+	for name, depth := range tc.ArraySizes {
+		words := make([]int64, depth)
+		copy(words, tc.Inputs[name])
+		ref[name] = words
+	}
+	start := time.Now()
+	ri, err := interp.Run(comp.Func, ref, tc.ScalarArgs, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.RefWall = time.Since(start)
+	res.RefSteps = ri.Steps
+
+	// Compare memory contents (the paper's pass criterion).
+	res.Passed = true
+	for name := range tc.ArraySizes {
+		expected := ref[name]
+		if tc.Expected != nil && tc.Expected[name] != nil {
+			expected = tc.Expected[name]
+		}
+		actual, err := ctl.Memory(name)
+		if err != nil {
+			return nil, err
+		}
+		ms := memfile.Compare(expected, actual, 0)
+		res.Mismatches[name] = ms
+		if len(ms) > 0 {
+			res.Passed = false
+		}
+	}
+
+	if opts.WorkDir != "" {
+		for name := range tc.ArraySizes {
+			actual, _ := ctl.Memory(name)
+			path := filepath.Join(opts.WorkDir, tc.Name, name+".out.mem")
+			if err := memfile.Save(path, actual, "simulated contents of "+name); err != nil {
+				return nil, err
+			}
+			res.Artifacts["mem:"+name] = path
+		}
+	}
+	return res, nil
+}
+
+func emitArtifacts(tc TestCase, comp *compiler.Result, opts Options, res *CaseResult) error {
+	dir := filepath.Join(opts.WorkDir, tc.Name)
+	files, err := xmlspec.SaveDesign(comp.Design, dir)
+	if err != nil {
+		return err
+	}
+	for label, path := range files {
+		res.Artifacts[label] = path
+	}
+	for name := range tc.ArraySizes {
+		words := make([]int64, tc.ArraySizes[name])
+		copy(words, tc.Inputs[name])
+		path := filepath.Join(dir, name+".mem")
+		if err := memfile.Save(path, words, "initial contents of "+name); err != nil {
+			return err
+		}
+		res.Artifacts["mem-in:"+name] = path
+	}
+	if !opts.EmitArtifacts {
+		return nil
+	}
+	emit := func(label, name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		res.Artifacts[label] = path
+		return nil
+	}
+	rtgDoc, err := xmlspec.Marshal(comp.Design.RTG)
+	if err != nil {
+		return err
+	}
+	if out, err := xsl.TransformBytes(xsl.RTGToDot(), rtgDoc); err != nil {
+		return err
+	} else if err := emit("dot:rtg", "rtg.dot", out); err != nil {
+		return err
+	}
+	if out, err := xsl.TransformBytes(xsl.RTGToJava(), rtgDoc); err != nil {
+		return err
+	} else if err := emit("java:rtg", "rtg.java", out); err != nil {
+		return err
+	}
+	for name, dp := range comp.Design.Datapaths {
+		doc, err := xmlspec.Marshal(dp)
+		if err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.DatapathToDot(), doc); err != nil {
+			return err
+		} else if err := emit("dot:"+name, name+".dot", out); err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.DatapathToHDS(), doc); err != nil {
+			return err
+		} else if err := emit("hds:"+name, name+".hds", out); err != nil {
+			return err
+		}
+	}
+	for name, fsm := range comp.Design.FSMs {
+		doc, err := xmlspec.Marshal(fsm)
+		if err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.FSMToDot(), doc); err != nil {
+			return err
+		} else if err := emit("dot:"+name, name+".dot", out); err != nil {
+			return err
+		}
+		if out, err := xsl.TransformBytes(xsl.FSMToJava(), doc); err != nil {
+			return err
+		} else if err := emit("java:"+name, name+".java", out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clockPeriod(opts Options) hades.Time {
+	if opts.ClockPeriod > 0 {
+		return hades.Time(opts.ClockPeriod)
+	}
+	return 10
+}
+
+func maxCycles(opts Options) uint64 {
+	if opts.MaxCycles > 0 {
+		return opts.MaxCycles
+	}
+	return 50_000_000
+}
+
+func countLines(s string) int {
+	n := 0
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			line := s[start:i]
+			start = i + 1
+			if nonBlank(line) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func nonBlank(line string) bool {
+	for i := 0; i < len(line); i++ {
+		if line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/memfile"
+)
+
+// Suite is the regression automation of the infrastructure — the role
+// the ANT build plays in the paper: "verify, at high abstraction levels,
+// compiler results over a complete test suite in feasible time."
+type Suite struct {
+	Name  string
+	Cases []TestCase
+}
+
+// SuiteResult aggregates a suite run.
+type SuiteResult struct {
+	Name    string
+	Results []*CaseResult
+	Wall    time.Duration
+}
+
+// Passed reports whether every case passed.
+func (s *SuiteResult) Passed() bool {
+	for _, r := range s.Results {
+		if !r.Passed || r.Err != nil {
+			return false
+		}
+	}
+	return len(s.Results) > 0
+}
+
+// Counts returns (passed, failed).
+func (s *SuiteResult) Counts() (passed, failed int) {
+	for _, r := range s.Results {
+		if r.Passed && r.Err == nil {
+			passed++
+		} else {
+			failed++
+		}
+	}
+	return
+}
+
+// Run executes every case; a case that errors is recorded as failed
+// rather than aborting the suite (the whole suite must always report).
+func (s *Suite) Run(opts Options) *SuiteResult {
+	out := &SuiteResult{Name: s.Name}
+	start := time.Now()
+	for _, tc := range s.Cases {
+		r, err := RunCase(tc, opts)
+		if err != nil {
+			r = &CaseResult{Name: tc.Name, Passed: false, Err: err}
+		}
+		out.Results = append(out.Results, r)
+	}
+	out.Wall = time.Since(start)
+	return out
+}
+
+// Report writes a human-readable suite report.
+func (s *SuiteResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "suite %s: %d case(s), %v\n", s.Name, len(s.Results), s.Wall.Round(time.Millisecond))
+	for _, r := range s.Results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "  %-12s ERROR %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  %s\n", r.Summary())
+		if !r.Passed {
+			for name, ms := range r.Mismatches {
+				if len(ms) > 0 {
+					fmt.Fprintf(w, "    %s\n", indent(memfile.FormatMismatches(name, ms, 4), "    "))
+				}
+			}
+		}
+	}
+	passed, failed := s.Counts()
+	fmt.Fprintf(w, "result: %d passed, %d failed\n", passed, failed)
+}
+
+func indent(s, pad string) string {
+	return strings.ReplaceAll(s, "\n", "\n"+pad)
+}

@@ -1,0 +1,157 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/rtg"
+	"repro/internal/workloads"
+)
+
+// The canonical co-simulation scenario: software (the "microprocessor")
+// encodes a nibble stream with Hamming(7,4) and injects errors, the
+// reconfigurable hardware decodes it, software checks the result — three
+// phases over one shared memory pool.
+
+const encodeSrc = `
+// Software side: encode nibbles and inject a single-bit error into every
+// second codeword (bit position cycles with the index).
+void encode(int[] data, int[] chan_mem, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    int d1 = (data[i] >> 3) & 1;
+    int d2 = (data[i] >> 2) & 1;
+    int d3 = (data[i] >> 1) & 1;
+    int d4 = data[i] & 1;
+    int p1 = d1 ^ d2 ^ d4;
+    int p2 = d1 ^ d3 ^ d4;
+    int p3 = d2 ^ d3 ^ d4;
+    int cw = p1 * 64 + p2 * 32 + d1 * 16 + p3 * 8 + d2 * 4 + d3 * 2 + d4;
+    if (i % 2 == 0) {
+      cw = cw ^ (1 << (i % 7));
+    }
+    chan_mem[i] = cw;
+  }
+}
+`
+
+const checkSrc = `
+// Software side: compare decoded nibbles against the originals.
+void check(int[] data, int[] out, int[] status, int n) {
+  int errors = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    if (out[i] != data[i]) { errors = errors + 1; }
+  }
+  status[0] = errors;
+}
+`
+
+const decodeHW = `
+// Hardware side: Hamming(7,4) decoder over the channel memory.
+void decode(int[] chan_mem, int[] out, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int c = chan_mem[i];
+    int b1 = (c >> 6) & 1;
+    int b2 = (c >> 5) & 1;
+    int b3 = (c >> 4) & 1;
+    int b4 = (c >> 3) & 1;
+    int b5 = (c >> 2) & 1;
+    int b6 = (c >> 1) & 1;
+    int b7 = c & 1;
+    int s1 = b1 ^ b3 ^ b5 ^ b7;
+    int s2 = b2 ^ b3 ^ b6 ^ b7;
+    int s4 = b4 ^ b5 ^ b6 ^ b7;
+    int syn = s4 * 4 + s2 * 2 + s1;
+    if (syn != 0) {
+      c = c ^ (1 << (7 - syn));
+    }
+    out[i] = ((c >> 4) & 1) * 8 + ((c >> 2) & 1) * 4 + ((c >> 1) & 1) * 2 + (c & 1);
+  }
+}
+`
+
+func TestSoftwareHardwareSoftwarePipeline(t *testing.T) {
+	const n = 24
+	sys := NewSystem(map[string]int{
+		"data": n, "chan_mem": n, "out": n, "status": 1,
+	})
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64((i * 7) % 16)
+	}
+	if err := sys.Load("data", data); err != nil {
+		t.Fatal(err)
+	}
+	args := map[string]int64{"n": n}
+	if err := sys.RunSoftware(encodeSrc, "encode", args); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunHardware(decodeHW, "decode", args, rtg.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunSoftware(checkSrc, "check", args); err != nil {
+		t.Fatal(err)
+	}
+	status, err := sys.Memory("status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != 0 {
+		out, _ := sys.Memory("out")
+		t.Fatalf("software check found %d decode errors; out=%v data=%v", status[0], out, data)
+	}
+	log := sys.Log()
+	if len(log) != 3 || log[0].Kind != "software" || log[1].Kind != "hardware" || log[2].Kind != "software" {
+		t.Fatalf("log=%+v", log)
+	}
+	if log[1].Cycles == 0 {
+		t.Fatal("hardware phase must report cycles")
+	}
+	if log[0].Steps == 0 || log[2].Steps == 0 {
+		t.Fatal("software phases must report steps")
+	}
+}
+
+func TestHardwarePhaseMatchesLibraryEncoder(t *testing.T) {
+	// The hardware decoder must agree with the Go reference encoder used
+	// by the workloads package (no error injection here).
+	const n = 16
+	sys := NewSystem(map[string]int{"chan_mem": n, "out": n})
+	codewords := make([]int64, n)
+	for i := range codewords {
+		codewords[i] = workloads.HammingEncode(int64(i % 16))
+	}
+	if err := sys.Load("chan_mem", codewords); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunHardware(decodeHW, "decode", map[string]int64{"n": n}, rtg.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := sys.Memory("out")
+	for i := range out {
+		if out[i] != int64(i%16) {
+			t.Fatalf("out=%v", out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	sys := NewSystem(map[string]int{"a": 4})
+	if _, err := sys.Memory("ghost"); err == nil {
+		t.Error("unknown memory must error")
+	}
+	if err := sys.Load("ghost", nil); err == nil {
+		t.Error("unknown memory must error")
+	}
+	if err := sys.RunSoftware("void f(int[] zz) {}", "f", nil); err == nil {
+		t.Error("unbound software array must error")
+	}
+	if err := sys.RunSoftware("void f(int[] a) {}", "g", nil); err == nil {
+		t.Error("unknown function must error")
+	}
+	if err := sys.RunHardware("void f(int[] zz) { zz[0] = 1; }", "f", nil, rtg.Options{}); err == nil {
+		t.Error("unbound hardware array must error")
+	}
+	if err := sys.RunSoftware("not minij", "f", nil); err == nil {
+		t.Error("parse error must propagate")
+	}
+}

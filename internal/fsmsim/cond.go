@@ -1,0 +1,226 @@
+// Package fsmsim executes the behavioural FSM descriptions of fsm.xml as
+// clocked simulator components — the role the generated fsm.java plays in
+// the paper's flow.
+package fsmsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cond is a compiled transition guard evaluated against the live status
+// signals each clock edge.
+type Cond interface {
+	Eval(env Env) bool
+	String() string
+}
+
+// Env resolves a status name to its current truth value (non-zero word).
+type Env interface {
+	Truth(name string) bool
+}
+
+// MapEnv is an Env over a plain map, used in tests and by the RTG
+// controller when evaluating edge guards outside a simulation.
+type MapEnv map[string]bool
+
+// Truth looks the name up; missing names read false.
+func (m MapEnv) Truth(name string) bool { return m[name] }
+
+type condTrue struct{}
+
+func (condTrue) Eval(Env) bool  { return true }
+func (condTrue) String() string { return "1" }
+
+type condFalse struct{}
+
+func (condFalse) Eval(Env) bool  { return false }
+func (condFalse) String() string { return "0" }
+
+type condVar struct{ name string }
+
+func (v condVar) Eval(env Env) bool { return env.Truth(v.name) }
+func (v condVar) String() string    { return v.name }
+
+type condNot struct{ x Cond }
+
+func (n condNot) Eval(env Env) bool { return !n.x.Eval(env) }
+func (n condNot) String() string    { return "!" + n.x.String() }
+
+type condAnd struct{ l, r Cond }
+
+func (a condAnd) Eval(env Env) bool { return a.l.Eval(env) && a.r.Eval(env) }
+func (a condAnd) String() string    { return "(" + a.l.String() + " & " + a.r.String() + ")" }
+
+type condOr struct{ l, r Cond }
+
+func (o condOr) Eval(env Env) bool { return o.l.Eval(env) || o.r.Eval(env) }
+func (o condOr) String() string    { return "(" + o.l.String() + " | " + o.r.String() + ")" }
+
+// ParseCond compiles a guard expression. The grammar, lowest precedence
+// first:  or := and ('|' and)* ; and := unary ('&' unary)* ;
+// unary := '!' unary | '(' or ')' | '0' | '1' | identifier.
+// An empty expression is the always-true default guard. known, when
+// non-nil, restricts identifiers to declared status inputs.
+func ParseCond(src string, known map[string]bool) (Cond, error) {
+	p := &condParser{src: src, known: known}
+	p.next()
+	if p.tok == tokEOF {
+		return condTrue{}, nil
+	}
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("fsmsim: cond %q: trailing input at %q", src, p.lit)
+	}
+	return c, nil
+}
+
+type condToken int
+
+const (
+	tokEOF condToken = iota
+	tokIdent
+	tokNot
+	tokAnd
+	tokOr
+	tokLParen
+	tokRParen
+	tokZero
+	tokOne
+	tokBad
+)
+
+type condParser struct {
+	src   string
+	pos   int
+	tok   condToken
+	lit   string
+	known map[string]bool
+}
+
+func (p *condParser) next() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '!':
+		p.tok, p.lit = tokNot, "!"
+		p.pos++
+	case '&':
+		p.tok, p.lit = tokAnd, "&"
+		p.pos++
+	case '|':
+		p.tok, p.lit = tokOr, "|"
+		p.pos++
+	case '(':
+		p.tok, p.lit = tokLParen, "("
+		p.pos++
+	case ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.pos++
+	case '0':
+		p.tok, p.lit = tokZero, "0"
+		p.pos++
+	case '1':
+		p.tok, p.lit = tokOne, "1"
+		p.pos++
+	default:
+		if isIdentStart(c) {
+			start := p.pos
+			for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+				p.pos++
+			}
+			p.tok, p.lit = tokIdent, p.src[start:p.pos]
+			return
+		}
+		p.tok, p.lit = tokBad, string(c)
+		p.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || ('0' <= c && c <= '9') }
+
+func (p *condParser) parseOr() (Cond, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokOr {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = condOr{l, r}
+	}
+	return l, nil
+}
+
+func (p *condParser) parseAnd() (Cond, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokAnd {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = condAnd{l, r}
+	}
+	return l, nil
+}
+
+func (p *condParser) parseUnary() (Cond, error) {
+	switch p.tok {
+	case tokNot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return condNot{x}, nil
+	case tokLParen:
+		p.next()
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("fsmsim: cond %q: missing )", p.src)
+		}
+		p.next()
+		return x, nil
+	case tokZero:
+		p.next()
+		return condFalse{}, nil
+	case tokOne:
+		p.next()
+		return condTrue{}, nil
+	case tokIdent:
+		name := p.lit
+		if p.known != nil && !p.known[name] {
+			return nil, fmt.Errorf("fsmsim: cond %q: unknown status %q", p.src, name)
+		}
+		p.next()
+		return condVar{name}, nil
+	default:
+		if strings.TrimSpace(p.lit) == "" {
+			return nil, fmt.Errorf("fsmsim: cond %q: unexpected end", p.src)
+		}
+		return nil, fmt.Errorf("fsmsim: cond %q: unexpected %q", p.src, p.lit)
+	}
+}

@@ -1,0 +1,284 @@
+package fsmsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hades"
+	"repro/internal/xmlspec"
+)
+
+func TestParseCondBasics(t *testing.T) {
+	known := map[string]bool{"a": true, "b": true, "c_1": true}
+	cases := []struct {
+		src  string
+		env  MapEnv
+		want bool
+	}{
+		{"", nil, true},
+		{"1", nil, true},
+		{"0", nil, false},
+		{"a", MapEnv{"a": true}, true},
+		{"a", MapEnv{}, false},
+		{"!a", MapEnv{}, true},
+		{"a & b", MapEnv{"a": true, "b": true}, true},
+		{"a & b", MapEnv{"a": true}, false},
+		{"a | b", MapEnv{"b": true}, true},
+		{"a | b", MapEnv{}, false},
+		{"!(a | b)", MapEnv{}, true},
+		{"!a & !b", MapEnv{}, true},
+		{"a & b | c_1", MapEnv{"c_1": true}, true}, // & binds tighter
+		{"a & (b | c_1)", MapEnv{"a": true, "c_1": true}, true},
+		{"!!a", MapEnv{"a": true}, true},
+	}
+	for _, c := range cases {
+		cond, err := ParseCond(c.src, known)
+		if err != nil {
+			t.Fatalf("ParseCond(%q): %v", c.src, err)
+		}
+		if got := cond.Eval(c.env); got != c.want {
+			t.Errorf("%q with %v = %v, want %v", c.src, c.env, got, c.want)
+		}
+	}
+}
+
+func TestParseCondErrors(t *testing.T) {
+	known := map[string]bool{"a": true}
+	for _, src := range []string{"ghost", "a &", "(a", "a )", "a b", "&", "a @ b"} {
+		if _, err := ParseCond(src, known); err == nil {
+			t.Errorf("ParseCond(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseCondNilKnownAllowsAnyIdent(t *testing.T) {
+	cond, err := ParseCond("whatever", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cond.Eval(MapEnv{"whatever": true}) {
+		t.Fatal("eval failed")
+	}
+}
+
+func TestCondStringRoundTripProperty(t *testing.T) {
+	// Property: rendering a parsed condition and re-parsing it preserves
+	// semantics on random environments.
+	srcs := []string{"a", "!a", "a & b", "a | b & !c", "!(a & b) | c", "a & !b & c"}
+	f := func(av, bv, cv bool, idx uint8) bool {
+		src := srcs[int(idx)%len(srcs)]
+		c1, err := ParseCond(src, nil)
+		if err != nil {
+			return false
+		}
+		c2, err := ParseCond(c1.String(), nil)
+		if err != nil {
+			return false
+		}
+		env := MapEnv{"a": av, "b": bv, "c": cv}
+		return c1.Eval(env) == c2.Eval(env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// counterFSM is the control unit of a loop running while lt is true.
+func counterFSM() *xmlspec.FSM {
+	return &xmlspec.FSM{
+		Name:    "ctl",
+		Inputs:  []xmlspec.FSMSignal{{Name: "lt"}},
+		Outputs: []xmlspec.FSMSignal{{Name: "en"}, {Name: "done"}},
+		States: []xmlspec.State{
+			{
+				Name: "LOOP", Initial: true,
+				Assigns: []xmlspec.Assign{{Signal: "en", Value: 1}},
+				Transitions: []xmlspec.Transition{
+					{Cond: "lt", Next: "LOOP"},
+					{Next: "END"},
+				},
+			},
+			{
+				Name: "END", Final: true,
+				Assigns: []xmlspec.Assign{{Signal: "done", Value: 1}},
+			},
+		},
+	}
+}
+
+type machineFixture struct {
+	sim          *hades.Simulator
+	clk, rst     *hades.Signal
+	lt, en, done *hades.Signal
+	m            *Machine
+}
+
+func newMachineFixture(t *testing.T, withRst bool) *machineFixture {
+	t.Helper()
+	sim := hades.NewSimulator()
+	f := &machineFixture{
+		sim:  sim,
+		clk:  sim.NewSignal("clk", 1),
+		lt:   sim.NewSignal("lt", 1),
+		en:   sim.NewSignal("en", 1),
+		done: sim.NewSignal("done", 1),
+	}
+	if withRst {
+		f.rst = sim.NewSignal("rst", 1)
+	}
+	m, err := New(sim, counterFSM(), f.clk, f.rst,
+		map[string]*hades.Signal{"lt": f.lt},
+		map[string]*hades.Signal{"en": f.en, "done": f.done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.m = m
+	return f
+}
+
+func (f *machineFixture) tick(t *testing.T) {
+	t.Helper()
+	f.sim.Set(f.clk, 1, 2)
+	f.sim.Set(f.clk, 0, 7)
+	if _, err := f.sim.Run(f.sim.Now() + 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineInitialOutputs(t *testing.T) {
+	f := newMachineFixture(t, false)
+	if !f.en.Bool() || f.done.Bool() {
+		t.Fatalf("initial outputs en=%v done=%v", f.en.Bool(), f.done.Bool())
+	}
+	if f.m.CurrentState() != "LOOP" || f.m.InFinal() {
+		t.Fatalf("state=%s", f.m.CurrentState())
+	}
+}
+
+func TestMachineLoopsWhileStatusTrue(t *testing.T) {
+	f := newMachineFixture(t, false)
+	f.sim.Drive(f.lt, 1)
+	for i := 0; i < 5; i++ {
+		f.tick(t)
+		if f.m.CurrentState() != "LOOP" {
+			t.Fatalf("tick %d: state=%s", i, f.m.CurrentState())
+		}
+	}
+	f.sim.Drive(f.lt, 0)
+	f.tick(t)
+	if f.m.CurrentState() != "END" || !f.m.InFinal() {
+		t.Fatalf("state=%s", f.m.CurrentState())
+	}
+	if !f.done.Bool() || f.en.Bool() {
+		t.Fatalf("final outputs en=%v done=%v", f.en.Bool(), f.done.Bool())
+	}
+	if f.m.Cycles() != 6 {
+		t.Fatalf("cycles=%d want 6", f.m.Cycles())
+	}
+}
+
+func TestMachineResetReturnsToInitial(t *testing.T) {
+	f := newMachineFixture(t, true)
+	f.sim.Drive(f.rst, 0)
+	f.sim.Drive(f.lt, 0)
+	f.tick(t)
+	if f.m.CurrentState() != "END" {
+		t.Fatalf("state=%s", f.m.CurrentState())
+	}
+	f.sim.Drive(f.rst, 1)
+	f.tick(t)
+	if f.m.CurrentState() != "LOOP" {
+		t.Fatalf("after reset state=%s", f.m.CurrentState())
+	}
+	if !f.en.Bool() || f.done.Bool() {
+		t.Fatal("outputs must reflect initial state after reset")
+	}
+}
+
+func TestMachineTrace(t *testing.T) {
+	f := newMachineFixture(t, false)
+	f.m.EnableTrace(3)
+	f.sim.Drive(f.lt, 1)
+	for i := 0; i < 5; i++ {
+		f.tick(t)
+	}
+	f.sim.Drive(f.lt, 0)
+	f.tick(t)
+	tr := f.m.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace=%v", tr)
+	}
+	if tr[2] != "END" {
+		t.Fatalf("trace=%v", tr)
+	}
+}
+
+func TestMachineUnboundSignalsFail(t *testing.T) {
+	sim := hades.NewSimulator()
+	clk := sim.NewSignal("clk", 1)
+	en := sim.NewSignal("en", 1)
+	done := sim.NewSignal("done", 1)
+	_, err := New(sim, counterFSM(), clk, nil,
+		map[string]*hades.Signal{}, // lt missing
+		map[string]*hades.Signal{"en": en, "done": done})
+	if err == nil || !strings.Contains(err.Error(), `input "lt" not bound`) {
+		t.Fatalf("err=%v", err)
+	}
+	lt := sim.NewSignal("lt", 1)
+	_, err = New(sim, counterFSM(), clk, nil,
+		map[string]*hades.Signal{"lt": lt},
+		map[string]*hades.Signal{"en": en}) // done missing
+	if err == nil || !strings.Contains(err.Error(), `output "done" not bound`) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMachineRejectsInvalidFSM(t *testing.T) {
+	sim := hades.NewSimulator()
+	clk := sim.NewSignal("clk", 1)
+	bad := counterFSM()
+	bad.States[0].Initial = false
+	_, err := New(sim, bad, clk, nil, map[string]*hades.Signal{}, map[string]*hades.Signal{})
+	if err == nil {
+		t.Fatal("invalid FSM must be rejected")
+	}
+}
+
+func TestMachineRejectsBadGuard(t *testing.T) {
+	sim := hades.NewSimulator()
+	clk := sim.NewSignal("clk", 1)
+	lt := sim.NewSignal("lt", 1)
+	en := sim.NewSignal("en", 1)
+	done := sim.NewSignal("done", 1)
+	bad := counterFSM()
+	bad.States[0].Transitions[0].Cond = "ghost"
+	_, err := New(sim, bad, clk, nil,
+		map[string]*hades.Signal{"lt": lt},
+		map[string]*hades.Signal{"en": en, "done": done})
+	if err == nil || !strings.Contains(err.Error(), "unknown status") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestMooreSamplingUsesPreEdgeStatus(t *testing.T) {
+	// The status flips in the same instant as the edge via a zero-delay
+	// event scheduled after the edge; the machine must still see the old
+	// value at that edge.
+	f := newMachineFixture(t, false)
+	f.sim.Drive(f.lt, 1)
+	f.tick(t) // stays LOOP
+	// Schedule lt:=0 exactly at the next rising edge time.
+	f.sim.Set(f.clk, 1, 2)
+	f.sim.Set(f.lt, 0, 2)
+	f.sim.Set(f.clk, 0, 7)
+	if _, err := f.sim.Run(f.sim.Now() + 8); err != nil {
+		t.Fatal(err)
+	}
+	// lt=0 and clk=1 arrive in the same delta; guard evaluation happens in
+	// the reaction phase after both updates, so the machine sees lt=0 and
+	// exits. This documents the kernel's same-delta semantics.
+	if f.m.CurrentState() != "END" {
+		t.Fatalf("state=%s", f.m.CurrentState())
+	}
+}

@@ -1,0 +1,92 @@
+package hades
+
+import "fmt"
+
+// Violation records one assertion failure.
+type Violation struct {
+	At      Time
+	Message string
+}
+
+// Assertion checks a predicate over signals whenever any watched signal
+// changes — the "assertions" requirement from the paper's introduction.
+// If StopOnFail is set, the first violation halts the run.
+type Assertion struct {
+	IDBase
+	label      string
+	pred       func() bool
+	violations []Violation
+	StopOnFail bool
+	MaxRecord  int
+}
+
+// NewAssertion builds an assertion with the given label and predicate and
+// arms it on the listed signals.
+func NewAssertion(label string, pred func() bool, watch ...*Signal) *Assertion {
+	a := &Assertion{label: label, pred: pred, MaxRecord: 1000}
+	a.AssignID(NextID())
+	for _, s := range watch {
+		s.Listen(a)
+	}
+	return a
+}
+
+// Name returns the assertion label.
+func (a *Assertion) Name() string { return "assert:" + a.label }
+
+// React evaluates the predicate and records/stops on failure.
+func (a *Assertion) React(sim *Simulator) {
+	if a.pred() {
+		return
+	}
+	if len(a.violations) < a.MaxRecord {
+		a.violations = append(a.violations, Violation{
+			At:      sim.Now(),
+			Message: fmt.Sprintf("assertion %q failed at %s", a.label, sim.Now()),
+		})
+	}
+	if a.StopOnFail {
+		sim.RequestStop("assertion failed: " + a.label)
+	}
+}
+
+// Violations returns recorded failures in time order.
+func (a *Assertion) Violations() []Violation { return a.violations }
+
+// Failed reports whether the assertion ever failed.
+func (a *Assertion) Failed() bool { return len(a.violations) > 0 }
+
+// Watchdog stops the simulation when a signal reaches a target value,
+// typically a datapath's done flag, or complains if it never does.
+type Watchdog struct {
+	IDBase
+	label  string
+	sig    *Signal
+	want   int64
+	fired  bool
+	firedT Time
+}
+
+// NewWatchdog arms a watchdog on sig == want.
+func NewWatchdog(label string, sig *Signal, want int64) *Watchdog {
+	w := &Watchdog{label: label, sig: sig, want: want}
+	w.AssignID(NextID())
+	sig.Listen(w)
+	return w
+}
+
+// Name returns the watchdog label.
+func (w *Watchdog) Name() string { return "watchdog:" + w.label }
+
+// React stops the simulation when the condition is met. The comparison is
+// width-masked so that e.g. want=1 matches a 1-bit signal holding 1.
+func (w *Watchdog) React(sim *Simulator) {
+	if !w.fired && w.sig.Valid() && w.sig.Uint() == Mask(uint64(w.want), w.sig.Width()) {
+		w.fired = true
+		w.firedT = sim.Now()
+		sim.RequestStop(fmt.Sprintf("watchdog %s: %s == %d", w.label, w.sig.Name(), w.want))
+	}
+}
+
+// Fired reports whether the condition was observed, and when.
+func (w *Watchdog) Fired() (bool, Time) { return w.fired, w.firedT }

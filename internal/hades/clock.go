@@ -1,0 +1,88 @@
+package hades
+
+// Clock drives a 1-bit signal with a square wave. It schedules its own
+// toggle events, so it needs no external stimulus; Start must be called
+// once before Run.
+type Clock struct {
+	IDBase
+	label  string
+	sig    *Signal
+	period Time
+	phase  bool
+	limit  Time
+}
+
+// NewClock creates a clock on sig with the given period (ticks). The
+// clock stops scheduling once the next edge would pass limit, which keeps
+// the event queue finite for drain-style runs.
+func NewClock(label string, sig *Signal, period Time, limit Time) *Clock {
+	if period < 2 {
+		panic("hades: clock period must be at least 2 ticks")
+	}
+	c := &Clock{label: label, sig: sig, period: period, limit: limit}
+	c.AssignID(NextID())
+	return c
+}
+
+// Name returns the clock label.
+func (c *Clock) Name() string { return c.label }
+
+// Signal returns the driven clock signal.
+func (c *Clock) Signal() *Signal { return c.sig }
+
+// Period returns the clock period in ticks.
+func (c *Clock) Period() Time { return c.period }
+
+// Start drives the signal low and schedules the first rising edge.
+func (c *Clock) Start(sim *Simulator) {
+	sim.Drive(c.sig, 0)
+	c.phase = false
+	c.sig.Listen(c)
+	sim.Set(c.sig, 1, c.period/2)
+}
+
+// React schedules the next half-period toggle.
+func (c *Clock) React(sim *Simulator) {
+	next := sim.Now() + c.period/2
+	if next > c.limit {
+		return
+	}
+	if c.sig.Bool() {
+		sim.Set(c.sig, 0, c.period/2)
+	} else {
+		sim.Set(c.sig, 1, c.period/2)
+	}
+}
+
+// RisingEdge reports whether sig just transitioned to 1, tracking the
+// previous observation in prev (caller-owned storage).
+func RisingEdge(sig *Signal, prev *bool) bool {
+	cur := sig.Bool()
+	rose := cur && !*prev
+	*prev = cur
+	return rose
+}
+
+// ResetPulse drives a 1-bit reset signal active for the first 'active'
+// ticks of simulation and then deasserts it.
+type ResetPulse struct {
+	IDBase
+	label string
+	sig   *Signal
+}
+
+// NewResetPulse drives sig high immediately and schedules the deassertion
+// at the given time.
+func NewResetPulse(label string, sim *Simulator, sig *Signal, active Time) *ResetPulse {
+	r := &ResetPulse{label: label, sig: sig}
+	r.AssignID(NextID())
+	sim.Drive(sig, 1)
+	sim.Set(sig, 0, active)
+	return r
+}
+
+// Name returns the reset label.
+func (r *ResetPulse) Name() string { return r.label }
+
+// React is a no-op; the pulse is entirely pre-scheduled.
+func (r *ResetPulse) React(*Simulator) {}

@@ -1,0 +1,80 @@
+package hades
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Change is one recorded transition on a probed signal.
+type Change struct {
+	At    Time
+	Value int64
+}
+
+// Probe records every value change of one signal, giving the "access to
+// values on certain connections" the paper cites as a requirement that
+// testing on the FPGA itself cannot satisfy.
+type Probe struct {
+	IDBase
+	sig     *Signal
+	history []Change
+	max     int // 0 = unbounded
+	dropped int
+}
+
+// NewProbe attaches a probe to sig. maxHistory bounds stored changes
+// (0 = unbounded); older entries are dropped first.
+func NewProbe(sig *Signal, maxHistory int) *Probe {
+	p := &Probe{sig: sig, max: maxHistory}
+	p.AssignID(NextID())
+	sig.Listen(p)
+	return p
+}
+
+// Name identifies the probe by its signal.
+func (p *Probe) Name() string { return "probe:" + p.sig.Name() }
+
+// Signal returns the probed signal.
+func (p *Probe) Signal() *Signal { return p.sig }
+
+// React records the change.
+func (p *Probe) React(sim *Simulator) {
+	p.history = append(p.history, Change{At: sim.Now(), Value: p.sig.Int()})
+	if p.max > 0 && len(p.history) > p.max {
+		n := len(p.history) - p.max
+		p.history = append(p.history[:0], p.history[n:]...)
+		p.dropped += n
+	}
+}
+
+// History returns the recorded changes in time order.
+func (p *Probe) History() []Change { return p.history }
+
+// Dropped returns how many changes were discarded due to the bound.
+func (p *Probe) Dropped() int { return p.dropped }
+
+// ValueAt returns the probed signal's value as of time t (the last change
+// at or before t) and whether any change had occurred by then.
+func (p *Probe) ValueAt(t Time) (int64, bool) {
+	v, ok := int64(0), false
+	for _, c := range p.history {
+		if c.At > t {
+			break
+		}
+		v, ok = c.Value, true
+	}
+	return v, ok
+}
+
+// Transitions counts recorded changes.
+func (p *Probe) Transitions() int { return p.dropped + len(p.history) }
+
+// Dump renders the history as "t:v t:v ..." for debugging and reports.
+func (p *Probe) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", p.sig.Name())
+	for _, c := range p.history {
+		fmt.Fprintf(&b, " %d:%d", int64(c.At), c.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,34 @@
+// Package hades implements a discrete-event simulation kernel modelled
+// after Hades, the Java event-based simulator the paper uses as its
+// simulation engine (Hendrich, EWME'00). The kernel provides signals,
+// delta cycles, clocked and combinational reactors, probes with VCD dump,
+// assertions and stop control — the features the paper lists as the reason
+// to test by functional simulation rather than on the FPGA (access to
+// values on connections, assertions, probes and stop mechanisms).
+package hades
+
+import "fmt"
+
+// Time is a simulation timestamp in ticks. The infrastructure nominally
+// interprets one tick as one nanosecond, but nothing in the kernel depends
+// on the unit; clocks define periods in ticks.
+type Time int64
+
+// TimeMax is the largest representable simulation time.
+const TimeMax = Time(1<<63 - 1)
+
+// String renders the time in engineering notation (ns base unit).
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("%dticks", int64(t))
+	case t >= 1_000_000_000:
+		return fmt.Sprintf("%gs", float64(t)/1e9)
+	case t >= 1_000_000:
+		return fmt.Sprintf("%gms", float64(t)/1e6)
+	case t >= 1_000:
+		return fmt.Sprintf("%gus", float64(t)/1e3)
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

@@ -1,0 +1,135 @@
+package hades
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// VCDWriter streams signal activity to a Value Change Dump file, the
+// de-facto waveform interchange format. Attach signals before the run;
+// every change is emitted as it happens. Hades exposes waveforms through
+// its GUI; a VCD file is the headless equivalent.
+type VCDWriter struct {
+	IDBase
+	w       io.Writer
+	ids     map[*Signal]string
+	order   []*Signal
+	started bool
+	lastT   Time
+	err     error
+}
+
+// NewVCDWriter creates a writer targeting w.
+func NewVCDWriter(w io.Writer) *VCDWriter {
+	v := &VCDWriter{w: w, ids: make(map[*Signal]string), lastT: -1}
+	v.AssignID(NextID())
+	return v
+}
+
+// Name identifies the writer.
+func (v *VCDWriter) Name() string { return "vcd" }
+
+// Add registers a signal for dumping; must precede Header.
+func (v *VCDWriter) Add(sig *Signal) {
+	if _, dup := v.ids[sig]; dup {
+		return
+	}
+	v.ids[sig] = vcdID(len(v.order))
+	v.order = append(v.order, sig)
+	sig.Listen(v)
+}
+
+// AddAll registers every signal of the simulator.
+func (v *VCDWriter) AddAll(sim *Simulator) {
+	sigs := append([]*Signal(nil), sim.Signals()...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].Name() < sigs[j].Name() })
+	for _, s := range sigs {
+		v.Add(s)
+	}
+}
+
+// Header writes the VCD preamble; call once before Run.
+func (v *VCDWriter) Header(module string) {
+	v.printf("$timescale 1ns $end\n$scope module %s $end\n", module)
+	for _, s := range v.order {
+		v.printf("$var wire %d %s %s $end\n", s.Width(), v.ids[s], sanitizeVCDName(s.Name()))
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n$dumpvars\n")
+	for _, s := range v.order {
+		v.emit(s)
+	}
+	v.printf("$end\n")
+	v.started = true
+}
+
+// React emits changes for the current instant.
+func (v *VCDWriter) React(sim *Simulator) {
+	if !v.started || v.err != nil {
+		return
+	}
+	if sim.Now() != v.lastT {
+		v.printf("#%d\n", int64(sim.Now()))
+		v.lastT = sim.Now()
+	}
+	// The kernel coalesces one React per delta; emit every registered
+	// signal that changed at this instant.
+	for _, s := range v.order {
+		if s.LastChange() == sim.Now() && s.Valid() {
+			v.emit(s)
+		}
+	}
+}
+
+// Err returns the first write error, if any.
+func (v *VCDWriter) Err() error { return v.err }
+
+func (v *VCDWriter) emit(s *Signal) {
+	if !s.Valid() {
+		if s.Width() == 1 {
+			v.printf("x%s\n", v.ids[s])
+		} else {
+			v.printf("bx %s\n", v.ids[s])
+		}
+		return
+	}
+	if s.Width() == 1 {
+		v.printf("%d%s\n", s.Uint()&1, v.ids[s])
+		return
+	}
+	v.printf("b%b %s\n", s.Uint(), v.ids[s])
+}
+
+func (v *VCDWriter) printf(format string, args ...interface{}) {
+	if v.err != nil {
+		return
+	}
+	_, v.err = fmt.Fprintf(v.w, format, args...)
+}
+
+// vcdID maps an index to the printable-character identifier code VCD uses.
+func vcdID(n int) string {
+	const base = 94 // printable ASCII '!'..'~'
+	id := []byte{}
+	for {
+		id = append(id, byte('!'+n%base))
+		n /= base
+		if n == 0 {
+			break
+		}
+		n--
+	}
+	return string(id)
+}
+
+func sanitizeVCDName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == ' ' || c == '\t' {
+			c = '_'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

@@ -1,0 +1,202 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/lang"
+	"repro/internal/operators"
+	"repro/internal/xmlspec"
+)
+
+func compiledDesign(t *testing.T) *xmlspec.Design {
+	t.Helper()
+	src := `void f(int[] a, int[] b, int n) {
+	  for (int i = 0; i < n; i = i + 1) {
+	    if (a[i] < 0) { b[i] = -a[i]; } else { b[i] = a[i] * 2 + (a[i] >> 1); }
+	  }
+	}`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(prog, "f", compiler.Config{
+		ArraySizes: map[string]int{"a": 8, "b": 8},
+		ScalarArgs: map[string]int64{"n": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Design
+}
+
+func TestVHDLDatapath(t *testing.T) {
+	d := compiledDesign(t)
+	out, err := VHDLDatapath(d.Datapaths["f_p1"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"entity f_p1 is", "architecture rtl of f_p1",
+		"library ieee", "use ieee.numeric_std.all",
+		"clk : in std_logic",
+		"rising_edge(clk)",
+		"m_a_mem", "to_integer(unsigned(",
+		"end architecture;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vhdl missing %q", want)
+		}
+	}
+	// Every operator id must appear in the output.
+	for _, op := range d.Datapaths["f_p1"].Operators {
+		if !strings.Contains(out, sigName(op.ID)) {
+			t.Errorf("vhdl missing operator %q", op.ID)
+		}
+	}
+}
+
+func TestVHDLFSM(t *testing.T) {
+	d := compiledDesign(t)
+	out, err := VHDLFSM(d.FSMs["f_p1_ctl"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"entity f_p1_ctl is", "type state_t is (", "st_END",
+		"case state is", "when st_S0", "done <= '1';", "rst = '1'",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vhdl fsm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerilogDatapath(t *testing.T) {
+	d := compiledDesign(t)
+	out, err := VerilogDatapath(d.Datapaths["f_p1"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module f_p1 (", "input wire clk", "endmodule",
+		"always @(posedge clk)", "m_a_mem", "assign",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+	for _, op := range d.Datapaths["f_p1"].Operators {
+		if !strings.Contains(out, sigName(op.ID)) {
+			t.Errorf("verilog missing operator %q", op.ID)
+		}
+	}
+}
+
+func TestVerilogFSM(t *testing.T) {
+	d := compiledDesign(t)
+	out, err := VerilogFSM(d.FSMs["f_p1_ctl"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module f_p1_ctl (", "localparam ST_END", "case (state)",
+		"always @(posedge clk)", "always @(*)", "endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verilog fsm missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllOperatorTypesEmit(t *testing.T) {
+	// A datapath touching every operator type must emit in both HDLs.
+	reg := operators.DefaultRegistry()
+	dp := &xmlspec.Datapath{Name: "every", Width: 32}
+	addOp := func(op xmlspec.Operator) { dp.Operators = append(dp.Operators, op) }
+	addOp(xmlspec.Operator{ID: "k0", Type: "const", Value: -5})
+	addOp(xmlspec.Operator{ID: "k1", Type: "const", Value: 3})
+	two := []string{"add", "sub", "mul", "div", "mod", "and", "or", "xor",
+		"shl", "shr", "sra", "eq", "ne", "lt", "le", "gt", "ge"}
+	for _, typ := range two {
+		id := "op_" + typ
+		addOp(xmlspec.Operator{ID: id, Type: typ})
+		dp.Connections = append(dp.Connections,
+			xmlspec.Connection{From: "k0.y", To: id + ".a"},
+			xmlspec.Connection{From: "k1.y", To: id + ".b"})
+	}
+	for _, typ := range []string{"neg", "not", "lnot"} {
+		id := "op_" + typ
+		addOp(xmlspec.Operator{ID: id, Type: typ})
+		dp.Connections = append(dp.Connections, xmlspec.Connection{From: "k0.y", To: id + ".a"})
+	}
+	addOp(xmlspec.Operator{ID: "op_b2i", Type: "b2i"})
+	dp.Connections = append(dp.Connections, xmlspec.Connection{From: "op_eq.y", To: "op_b2i.a"})
+	addOp(xmlspec.Operator{ID: "op_mux", Type: "mux", Inputs: 3})
+	dp.Connections = append(dp.Connections,
+		xmlspec.Connection{From: "k0.y", To: "op_mux.in0"},
+		xmlspec.Connection{From: "k1.y", To: "op_mux.in1"},
+		xmlspec.Connection{From: "op_add.y", To: "op_mux.in2"})
+	addOp(xmlspec.Operator{ID: "op_reg", Type: "reg"})
+	dp.Connections = append(dp.Connections, xmlspec.Connection{From: "op_mux.y", To: "op_reg.d"})
+	addOp(xmlspec.Operator{ID: "op_ram", Type: "ram", Depth: 16})
+	dp.Connections = append(dp.Connections, xmlspec.Connection{From: "op_reg.q", To: "op_ram.addr"})
+	addOp(xmlspec.Operator{ID: "op_rom", Type: "rom", Depth: 16})
+	dp.Connections = append(dp.Connections, xmlspec.Connection{From: "op_reg.q", To: "op_rom.addr"})
+	addOp(xmlspec.Operator{ID: "op_stim", Type: "stim"})
+	addOp(xmlspec.Operator{ID: "op_sink", Type: "sink"})
+	dp.Connections = append(dp.Connections, xmlspec.Connection{From: "op_stim.out", To: "op_sink.in"})
+	dp.Controls = []xmlspec.Control{
+		{Name: "sel", Width: 2, Targets: []xmlspec.ControlTo{{Port: "op_mux.sel"}}},
+		{Name: "en", Targets: []xmlspec.ControlTo{{Port: "op_reg.en"}}},
+	}
+	dp.Statuses = []xmlspec.Status{{Name: "s0", From: "op_lt.y"}}
+
+	if err := xmlspec.ValidateDatapath(dp, reg); err != nil {
+		t.Fatal(err)
+	}
+	v, err := VHDLDatapath(dp, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := VerilogDatapath(dp, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g, "-32'sd5") {
+		t.Error("verilog negative const literal missing")
+	}
+	for _, out := range []string{v, g} {
+		if len(out) < 500 {
+			t.Fatalf("implausibly short HDL:\n%s", out)
+		}
+	}
+}
+
+func TestSigName(t *testing.T) {
+	if sigName("a.b-c") != "a_b_c" {
+		t.Fatalf("sigName=%q", sigName("a.b-c"))
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 17: 5}
+	for n, want := range cases {
+		if got := stateBits(n); got != want {
+			t.Errorf("stateBits(%d)=%d want %d", n, got, want)
+		}
+	}
+}
+
+func TestGuardRewrites(t *testing.T) {
+	if got := vhdlGuard("s0 & !s1"); got != "s0 = '1' and not s1 = '1'" {
+		t.Fatalf("vhdlGuard=%q", got)
+	}
+	if got := verilogGuard("s0 | s1"); got != "s0 || s1" {
+		t.Fatalf("verilogGuard=%q", got)
+	}
+	if vhdlGuard("") != "" || verilogGuard("") != "" {
+		t.Fatal("empty guard must stay empty")
+	}
+}

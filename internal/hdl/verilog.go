@@ -1,0 +1,258 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/operators"
+	"repro/internal/xmlspec"
+)
+
+// VerilogDatapath renders a datapath as one Verilog module.
+func VerilogDatapath(dp *xmlspec.Datapath, reg *operators.Registry) (string, error) {
+	r, err := resolve(dp, reg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s\n", fmtComment("Verilog", dp.Name))
+	fmt.Fprintf(&b, "module %s (\n  input wire clk", sigName(dp.Name))
+	for _, ctl := range dp.Controls {
+		fmt.Fprintf(&b, ",\n  input wire %s ctl_%s", vrange(ctl.ControlWidth()), ctl.Name)
+	}
+	for _, st := range dp.Statuses {
+		fmt.Fprintf(&b, ",\n  output wire %s st_%s", vrange(st.StatusWidth()), st.Name)
+	}
+	b.WriteString("\n);\n")
+
+	for i := range dp.Operators {
+		op := &dp.Operators[i]
+		for _, ps := range r.ports[op.ID] {
+			if ps.Dir != operators.Out {
+				continue
+			}
+			kind := "wire"
+			if op.Type == "reg" || (op.Type == "ram" && ps.Name == "dout") {
+				kind = "reg"
+			}
+			if op.Type == "ram" && ps.Name == "dout" {
+				kind = "wire" // async read: continuous assign below
+			}
+			fmt.Fprintf(&b, "  %s signed %s %s;\n", kind, vrange(ps.Width), sigName(op.ID+"."+ps.Name))
+		}
+		if op.Type == "ram" {
+			fmt.Fprintf(&b, "  reg signed %s %s_mem [0:%d];\n", vrange(r.width(op.ID)), op.ID, op.Depth-1)
+		}
+	}
+	for i := range dp.Operators {
+		if err := verilogOperator(&b, r, &dp.Operators[i]); err != nil {
+			return "", err
+		}
+	}
+	for _, st := range dp.Statuses {
+		fmt.Fprintf(&b, "  assign st_%s = %s;\n", st.Name, sigName(st.From))
+	}
+	b.WriteString("endmodule\n")
+	return b.String(), nil
+}
+
+func vrange(width int) string {
+	if width == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0]", width-1)
+}
+
+func verilogOperator(b *strings.Builder, r *resolved, op *xmlspec.Operator) error {
+	id := op.ID
+	y := sigName(id + ".y")
+	a := func() string { return r.in(id, "a", "0") }
+	bb := func() string { return r.in(id, "b", "0") }
+	w := r.width(id)
+	switch op.Type {
+	case "const":
+		if op.Value < 0 {
+			fmt.Fprintf(b, "  assign %s = -%d'sd%d;\n", y, w, abs64(op.Value))
+		} else {
+			fmt.Fprintf(b, "  assign %s = %d'sd%d;\n", y, w, op.Value)
+		}
+	case "add", "sub", "mul", "and", "or", "xor":
+		fmt.Fprintf(b, "  assign %s = %s %s %s;\n", y, a(), binExpr[op.Type], bb())
+	case "div", "mod":
+		sym := map[string]string{"div": "/", "mod": "%"}[op.Type]
+		fmt.Fprintf(b, "  assign %s = (%s != 0) ? (%s %s %s) : 0;\n", y, bb(), a(), sym, bb())
+	case "shl":
+		fmt.Fprintf(b, "  assign %s = %s <<< %s;\n", y, a(), bb())
+	case "sra":
+		fmt.Fprintf(b, "  assign %s = %s >>> %s;\n", y, a(), bb())
+	case "shr":
+		fmt.Fprintf(b, "  assign %s = $signed($unsigned(%s) >> %s);\n", y, a(), bb())
+	case "eq", "ne", "lt", "le", "gt", "ge":
+		fmt.Fprintf(b, "  assign %s = (%s %s %s);\n", y, a(), cmpExprVerilog[op.Type], bb())
+	case "neg":
+		fmt.Fprintf(b, "  assign %s = -%s;\n", y, a())
+	case "not":
+		fmt.Fprintf(b, "  assign %s = ~%s;\n", y, a())
+	case "lnot":
+		fmt.Fprintf(b, "  assign %s = (%s == 0);\n", y, a())
+	case "b2i":
+		fmt.Fprintf(b, "  assign %s = {%d'b0, %s};\n", y, w-1, a())
+	case "mux":
+		n := muxInputs(r.params[id])
+		sel := r.in(id, "sel", "0")
+		fmt.Fprintf(b, "  assign %s =\n", y)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "    (%s == %d) ? %s :\n", sel, i, r.in(id, fmt.Sprintf("in%d", i), "0"))
+		}
+		b.WriteString("    0;\n")
+	case "reg":
+		q := sigName(id + ".q")
+		fmt.Fprintf(b, "  always @(posedge clk) begin\n")
+		if r.hasDriver(id, "en") {
+			fmt.Fprintf(b, "    if (%s) %s <= %s;\n", r.in(id, "en", "1'b1"), q, r.in(id, "d", "0"))
+		} else {
+			fmt.Fprintf(b, "    %s <= %s;\n", q, r.in(id, "d", "0"))
+		}
+		b.WriteString("  end\n")
+	case "ram":
+		addr := r.in(id, "addr", "0")
+		fmt.Fprintf(b, "  always @(posedge clk) begin\n")
+		fmt.Fprintf(b, "    if (%s) %s_mem[%s] <= %s;\n", r.in(id, "we", "1'b0"), id, addr, r.in(id, "din", "0"))
+		b.WriteString("  end\n")
+		fmt.Fprintf(b, "  assign %s = %s_mem[%s];\n", sigName(id+".dout"), id, addr)
+	case "rom":
+		fmt.Fprintf(b, "  // rom %s: contents loaded from file at initialisation\n", id)
+		fmt.Fprintf(b, "  assign %s = 0;\n", sigName(id+".dout"))
+	case "stim", "sink":
+		fmt.Fprintf(b, "  // %s %s: testbench-side I/O component\n", op.Type, id)
+	default:
+		return fmt.Errorf("hdl: verilog: unhandled operator type %q", op.Type)
+	}
+	return nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// VerilogFSM renders a control unit as a Verilog module with localparam
+// state encoding, a state register and Moore output logic.
+func VerilogFSM(f *xmlspec.FSM) (string, error) {
+	if err := xmlspec.ValidateFSM(f); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s\n", fmtComment("Verilog FSM", f.Name))
+	fmt.Fprintf(&b, "module %s (\n  input wire clk,\n  input wire rst", sigName(f.Name))
+	for _, in := range f.Inputs {
+		fmt.Fprintf(&b, ",\n  input wire %s %s", vrange(in.SignalWidth()), in.Name)
+	}
+	for _, out := range f.Outputs {
+		fmt.Fprintf(&b, ",\n  output reg %s %s", vrange(out.SignalWidth()), out.Name)
+	}
+	b.WriteString("\n);\n")
+	sw := stateBits(len(f.States))
+	for i, st := range f.States {
+		fmt.Fprintf(&b, "  localparam ST_%s = %d'd%d;\n", sigName(st.Name), sw, i)
+	}
+	fmt.Fprintf(&b, "  reg %s state;\n\n", vrange(sw))
+
+	ini, _ := f.InitialState()
+	b.WriteString("  always @(posedge clk) begin\n    if (rst) begin\n")
+	fmt.Fprintf(&b, "      state <= ST_%s;\n    end else begin\n      case (state)\n", sigName(ini.Name))
+	for i := range f.States {
+		st := &f.States[i]
+		fmt.Fprintf(&b, "      ST_%s:\n", sigName(st.Name))
+		if len(st.Transitions) == 0 {
+			b.WriteString("        ;\n")
+			continue
+		}
+		emitted := false
+		for _, tr := range st.Transitions {
+			guard := verilogGuard(tr.Cond)
+			if guard == "" {
+				if emitted {
+					fmt.Fprintf(&b, "        else state <= ST_%s;\n", sigName(tr.Next))
+				} else {
+					fmt.Fprintf(&b, "        state <= ST_%s;\n", sigName(tr.Next))
+				}
+				break
+			}
+			kw := "if"
+			if emitted {
+				kw = "else if"
+			}
+			fmt.Fprintf(&b, "        %s (%s) state <= ST_%s;\n", kw, guard, sigName(tr.Next))
+			emitted = true
+		}
+	}
+	b.WriteString("      endcase\n    end\n  end\n\n")
+
+	b.WriteString("  always @(*) begin\n")
+	for _, out := range f.Outputs {
+		fmt.Fprintf(&b, "    %s = 0;\n", out.Name)
+	}
+	b.WriteString("    case (state)\n")
+	for i := range f.States {
+		st := &f.States[i]
+		if len(st.Assigns) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    ST_%s: begin\n", sigName(st.Name))
+		for _, a := range st.Assigns {
+			fmt.Fprintf(&b, "      %s = %d;\n", a.Signal, a.Value)
+		}
+		b.WriteString("    end\n")
+	}
+	b.WriteString("    default: ;\n    endcase\n  end\nendmodule\n")
+	return b.String(), nil
+}
+
+func stateBits(n int) int {
+	bits := 1
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	return bits
+}
+
+// verilogGuard rewrites an FSM guard into Verilog ("" for default edges).
+func verilogGuard(cond string) string {
+	cond = strings.TrimSpace(cond)
+	if cond == "" {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(cond); i++ {
+		c := cond[i]
+		switch c {
+		case '&':
+			b.WriteString(" && ")
+		case '|':
+			b.WriteString(" || ")
+		default:
+			if isIdent(c) {
+				j := i
+				for j < len(cond) && isIdent(cond[j]) {
+					j++
+				}
+				tok := cond[i:j]
+				switch tok {
+				case "1":
+					b.WriteString("1'b1")
+				case "0":
+					b.WriteString("1'b0")
+				default:
+					b.WriteString(tok)
+				}
+				i = j - 1
+				continue
+			}
+			b.WriteByte(c)
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}

@@ -1,0 +1,296 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/operators"
+	"repro/internal/xmlspec"
+)
+
+// VHDLDatapath renders a datapath as one VHDL entity: clock plus control
+// inputs and status outputs in the port list, one internal signal per
+// operator output, and one concurrent statement or process per operator.
+func VHDLDatapath(dp *xmlspec.Datapath, reg *operators.Registry) (string, error) {
+	r, err := resolve(dp, reg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s\n", fmtComment("VHDL", dp.Name))
+	b.WriteString("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n")
+	fmt.Fprintf(&b, "entity %s is\n  port (\n", sigName(dp.Name))
+	b.WriteString("    clk : in std_logic")
+	for _, ctl := range dp.Controls {
+		fmt.Fprintf(&b, ";\n    ctl_%s : in %s", ctl.Name, vhdlType(ctl.ControlWidth()))
+	}
+	for _, st := range dp.Statuses {
+		fmt.Fprintf(&b, ";\n    st_%s : out %s", st.Name, vhdlType(st.StatusWidth()))
+	}
+	b.WriteString("\n  );\nend entity;\n\n")
+	fmt.Fprintf(&b, "architecture rtl of %s is\n", sigName(dp.Name))
+
+	for i := range dp.Operators {
+		op := &dp.Operators[i]
+		for _, ps := range r.ports[op.ID] {
+			if ps.Dir == operators.Out {
+				fmt.Fprintf(&b, "  signal %s : %s;\n", sigName(op.ID+"."+ps.Name), vhdlType(ps.Width))
+			}
+		}
+		if op.Type == "ram" {
+			fmt.Fprintf(&b, "  type %s_mem_t is array (0 to %d) of %s;\n",
+				op.ID, op.Depth-1, vhdlType(r.width(op.ID)))
+			fmt.Fprintf(&b, "  signal %s_mem : %s_mem_t;\n", op.ID, op.ID)
+		}
+	}
+	b.WriteString("begin\n")
+	for i := range dp.Operators {
+		if err := vhdlOperator(&b, r, &dp.Operators[i]); err != nil {
+			return "", err
+		}
+	}
+	for _, st := range dp.Statuses {
+		fmt.Fprintf(&b, "  st_%s <= %s;\n", st.Name, sigName(st.From))
+	}
+	b.WriteString("end architecture;\n")
+	return b.String(), nil
+}
+
+func vhdlType(width int) string {
+	if width == 1 {
+		return "std_logic"
+	}
+	return fmt.Sprintf("signed(%d downto 0)", width-1)
+}
+
+func vhdlOperator(b *strings.Builder, r *resolved, op *xmlspec.Operator) error {
+	id := op.ID
+	y := sigName(id + ".y")
+	a := func() string { return r.in(id, "a", "(others => '0')") }
+	bb := func() string { return r.in(id, "b", "(others => '0')") }
+	w := r.width(id)
+	switch op.Type {
+	case "const":
+		fmt.Fprintf(b, "  %s <= to_signed(%d, %d);\n", y, op.Value, w)
+	case "add", "sub", "mul", "and", "or", "xor":
+		expr := fmt.Sprintf("%s %s %s", a(), vhdlBinOp(op.Type), bb())
+		if op.Type == "mul" {
+			expr = fmt.Sprintf("resize(%s * %s, %d)", a(), bb(), w)
+		}
+		fmt.Fprintf(b, "  %s <= %s;\n", y, expr)
+	case "div", "mod":
+		fmt.Fprintf(b, "  %s <= %s %s %s when %s /= 0 else to_signed(0, %d);\n",
+			y, a(), op.Type, bb(), bb(), w)
+	case "shl", "shr", "sra":
+		fn := map[string]string{"shl": "shift_left", "shr": "shift_right", "sra": "shift_right"}[op.Type]
+		arg := a()
+		if op.Type == "shr" {
+			arg = fmt.Sprintf("signed(shift_right(unsigned(%s), to_integer(unsigned(%s))))", a(), bb())
+			fmt.Fprintf(b, "  %s <= %s;\n", y, arg)
+			return nil
+		}
+		fmt.Fprintf(b, "  %s <= %s(%s, to_integer(unsigned(%s)));\n", y, fn, arg, bb())
+	case "eq", "ne", "lt", "le", "gt", "ge":
+		fmt.Fprintf(b, "  %s <= '1' when %s %s %s else '0';\n", y, a(), cmpExpr[op.Type], bb())
+	case "neg":
+		fmt.Fprintf(b, "  %s <= -%s;\n", y, a())
+	case "not":
+		fmt.Fprintf(b, "  %s <= not %s;\n", y, a())
+	case "lnot":
+		fmt.Fprintf(b, "  %s <= '1' when %s = 0 else '0';\n", y, a())
+	case "b2i":
+		fmt.Fprintf(b, "  %s <= to_signed(1, %d) when %s = '1' else to_signed(0, %d);\n", y, w, a(), w)
+	case "mux":
+		n := muxInputs(r.params[id])
+		fmt.Fprintf(b, "  with to_integer(unsigned(%s)) select %s <=\n", r.in(id, "sel", "\"0\""), y)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(b, "    %s when %d,\n", r.in(id, fmt.Sprintf("in%d", i), "(others => '0')"), i)
+		}
+		fmt.Fprintf(b, "    (others => '0') when others;\n")
+	case "reg":
+		fmt.Fprintf(b, "  process(clk) begin\n    if rising_edge(clk) then\n")
+		q := sigName(id + ".q")
+		if r.hasDriver(id, "en") {
+			fmt.Fprintf(b, "      if %s = '1' then %s <= %s; end if;\n", r.in(id, "en", "'1'"), q, r.in(id, "d", "(others => '0')"))
+		} else {
+			fmt.Fprintf(b, "      %s <= %s;\n", q, r.in(id, "d", "(others => '0')"))
+		}
+		fmt.Fprintf(b, "    end if;\n  end process;\n")
+	case "ram":
+		addr := r.in(id, "addr", "(others => '0')")
+		fmt.Fprintf(b, "  process(clk) begin\n    if rising_edge(clk) then\n")
+		fmt.Fprintf(b, "      if %s = '1' then %s_mem(to_integer(unsigned(%s))) <= %s; end if;\n",
+			r.in(id, "we", "'0'"), id, addr, r.in(id, "din", "(others => '0')"))
+		fmt.Fprintf(b, "    end if;\n  end process;\n")
+		fmt.Fprintf(b, "  %s <= %s_mem(to_integer(unsigned(%s)));\n", sigName(id+".dout"), id, addr)
+	case "rom":
+		fmt.Fprintf(b, "  -- rom %s: contents loaded from file at initialisation\n", id)
+		fmt.Fprintf(b, "  %s <= (others => '0');\n", sigName(id+".dout"))
+	case "stim", "sink":
+		fmt.Fprintf(b, "  -- %s %s: testbench-side I/O component\n", op.Type, id)
+	default:
+		return fmt.Errorf("hdl: vhdl: unhandled operator type %q", op.Type)
+	}
+	return nil
+}
+
+func vhdlBinOp(typ string) string {
+	if op, ok := binExpr[typ]; ok {
+		switch op {
+		case "&":
+			return "and"
+		case "|":
+			return "or"
+		case "^":
+			return "xor"
+		}
+		return op
+	}
+	return typ
+}
+
+// VHDLFSM renders a control unit as a two-process VHDL entity.
+func VHDLFSM(f *xmlspec.FSM) (string, error) {
+	if err := xmlspec.ValidateFSM(f); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- %s\n", fmtComment("VHDL FSM", f.Name))
+	b.WriteString("library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n")
+	fmt.Fprintf(&b, "entity %s is\n  port (\n    clk : in std_logic;\n    rst : in std_logic", sigName(f.Name))
+	for _, in := range f.Inputs {
+		fmt.Fprintf(&b, ";\n    %s : in %s", in.Name, vhdlType(in.SignalWidth()))
+	}
+	for _, out := range f.Outputs {
+		fmt.Fprintf(&b, ";\n    %s : out %s", out.Name, vhdlType(out.SignalWidth()))
+	}
+	b.WriteString("\n  );\nend entity;\n\n")
+	fmt.Fprintf(&b, "architecture rtl of %s is\n  type state_t is (", sigName(f.Name))
+	for i, st := range f.States {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("st_" + sigName(st.Name))
+	}
+	b.WriteString(");\n  signal state : state_t;\nbegin\n")
+
+	// State register + next-state logic.
+	b.WriteString("  process(clk) begin\n    if rising_edge(clk) then\n      if rst = '1' then\n")
+	ini, _ := f.InitialState()
+	fmt.Fprintf(&b, "        state <= st_%s;\n      else\n        case state is\n", sigName(ini.Name))
+	for i := range f.States {
+		st := &f.States[i]
+		fmt.Fprintf(&b, "          when st_%s =>\n", sigName(st.Name))
+		if len(st.Transitions) == 0 {
+			b.WriteString("            null;\n")
+			continue
+		}
+		emitted := false
+		for _, tr := range st.Transitions {
+			guard := vhdlGuard(tr.Cond)
+			if guard == "" {
+				if emitted {
+					fmt.Fprintf(&b, "            else state <= st_%s;\n", sigName(tr.Next))
+				} else {
+					fmt.Fprintf(&b, "            state <= st_%s;\n", sigName(tr.Next))
+				}
+				break
+			}
+			kw := "if"
+			if emitted {
+				kw = "elsif"
+			}
+			fmt.Fprintf(&b, "            %s %s then state <= st_%s;\n", kw, guard, sigName(tr.Next))
+			emitted = true
+		}
+		if emitted {
+			b.WriteString("            end if;\n")
+		}
+	}
+	b.WriteString("        end case;\n      end if;\n    end if;\n  end process;\n\n")
+
+	// Moore outputs.
+	b.WriteString("  process(state) begin\n")
+	for _, out := range f.Outputs {
+		fmt.Fprintf(&b, "    %s <= %s;\n", out.Name, vhdlZero(out.SignalWidth()))
+	}
+	b.WriteString("    case state is\n")
+	for i := range f.States {
+		st := &f.States[i]
+		fmt.Fprintf(&b, "      when st_%s =>\n", sigName(st.Name))
+		if len(st.Assigns) == 0 {
+			b.WriteString("        null;\n")
+			continue
+		}
+		for _, a := range st.Assigns {
+			w := outputWidth(f, a.Signal)
+			if w == 1 {
+				fmt.Fprintf(&b, "        %s <= '%d';\n", a.Signal, a.Value&1)
+			} else {
+				fmt.Fprintf(&b, "        %s <= to_signed(%d, %d);\n", a.Signal, a.Value, w)
+			}
+		}
+	}
+	b.WriteString("    end case;\n  end process;\nend architecture;\n")
+	return b.String(), nil
+}
+
+func vhdlZero(width int) string {
+	if width == 1 {
+		return "'0'"
+	}
+	return "(others => '0')"
+}
+
+func outputWidth(f *xmlspec.FSM, name string) int {
+	for _, out := range f.Outputs {
+		if out.Name == name {
+			return out.SignalWidth()
+		}
+	}
+	return 1
+}
+
+// vhdlGuard rewrites an FSM guard into VHDL ("" for the default edge).
+func vhdlGuard(cond string) string {
+	cond = strings.TrimSpace(cond)
+	if cond == "" {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(cond); i++ {
+		c := cond[i]
+		switch c {
+		case '&':
+			b.WriteString(" and ")
+		case '|':
+			b.WriteString(" or ")
+		case '!':
+			b.WriteString(" not ")
+		default:
+			if isIdent(c) {
+				j := i
+				for j < len(cond) && isIdent(cond[j]) {
+					j++
+				}
+				tok := cond[i:j]
+				switch tok {
+				case "1":
+					b.WriteString("true")
+				case "0":
+					b.WriteString("false")
+				default:
+					fmt.Fprintf(&b, "%s = '1'", tok)
+				}
+				i = j - 1
+				continue
+			}
+			b.WriteByte(c)
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

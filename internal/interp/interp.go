@@ -1,0 +1,286 @@
+// Package interp executes MiniJ programs directly over the memory
+// contents — the golden reference of the verification flow. The paper
+// runs the original Java algorithm against the same I/O files and
+// compares memory contents after simulation; this interpreter plays the
+// role of that Java execution.
+//
+// Semantics deliberately mirror the operator library bit-for-bit
+// (internal/operators Word* functions at width 32): two's-complement
+// wrap-around, Java shift/remainder behaviour, division by zero yielding
+// zero. Any divergence between interpreter and datapath is a bug the
+// comparison step must be able to attribute to the compiler, not to the
+// reference.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/hades"
+	"repro/internal/lang"
+	"repro/internal/operators"
+)
+
+// Options bounds interpretation.
+type Options struct {
+	MaxSteps uint64 // statement execution bound; default 100M
+}
+
+// Result reports an interpretation.
+type Result struct {
+	Steps     uint64 // statements executed
+	OOBReads  uint64 // out-of-bounds array reads (read as 0)
+	OOBWrites uint64 // out-of-bounds array writes (ignored)
+}
+
+// ErrStepBound is returned when MaxSteps is exceeded.
+var ErrStepBound = fmt.Errorf("interp: step bound exceeded (non-terminating loop?)")
+
+type machine struct {
+	arrays  map[string][]int64
+	scalars map[string]int64
+	res     Result
+	max     uint64
+}
+
+// Run executes function f with the given array bindings (mutated in
+// place, as the SRAMs are) and scalar argument values.
+func Run(f *lang.Func, arrays map[string][]int64, scalarArgs map[string]int64, opts Options) (*Result, error) {
+	max := opts.MaxSteps
+	if max == 0 {
+		max = 100_000_000
+	}
+	m := &machine{arrays: map[string][]int64{}, scalars: map[string]int64{}, max: max}
+	for _, p := range f.Params {
+		if p.IsArray {
+			arr, ok := arrays[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("interp: array parameter %q not bound", p.Name)
+			}
+			m.arrays[p.Name] = arr
+		} else {
+			v, ok := scalarArgs[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("interp: scalar parameter %q not bound", p.Name)
+			}
+			m.scalars[p.Name] = w32(v)
+		}
+	}
+	if err := m.execBlock(f.Body); err != nil {
+		return nil, err
+	}
+	return &m.res, nil
+}
+
+// w32 normalises a value to Java int range, exactly as a 32-bit signal
+// stores it.
+func w32(v int64) int64 { return hades.SignExtend(hades.Mask(uint64(v), 32), 32) }
+
+func (m *machine) step() error {
+	m.res.Steps++
+	if m.res.Steps > m.max {
+		return ErrStepBound
+	}
+	return nil
+}
+
+func (m *machine) execBlock(stmts []lang.Stmt) error {
+	for _, s := range stmts {
+		if err := m.exec(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *machine) exec(s lang.Stmt) error {
+	if err := m.step(); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *lang.PartitionStmt:
+		// Sequential execution spans all temporal partitions.
+		return nil
+	case *lang.DeclStmt:
+		v := int64(0)
+		if st.Init != nil {
+			var err error
+			v, err = m.eval(st.Init)
+			if err != nil {
+				return err
+			}
+		}
+		m.scalars[st.Name] = v
+		return nil
+	case *lang.AssignStmt:
+		v, err := m.eval(st.Expr)
+		if err != nil {
+			return err
+		}
+		m.scalars[st.Name] = v
+		return nil
+	case *lang.StoreStmt:
+		idx, err := m.eval(st.Index)
+		if err != nil {
+			return err
+		}
+		v, err := m.eval(st.Expr)
+		if err != nil {
+			return err
+		}
+		arr := m.arrays[st.Array]
+		if idx < 0 || idx >= int64(len(arr)) {
+			m.res.OOBWrites++
+			return nil
+		}
+		arr[idx] = v
+		return nil
+	case *lang.IfStmt:
+		c, err := m.eval(st.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return m.execBlock(st.Then)
+		}
+		return m.execBlock(st.Else)
+	case *lang.WhileStmt:
+		for {
+			c, err := m.eval(st.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := m.execBlock(st.Body); err != nil {
+				return err
+			}
+			if err := m.step(); err != nil {
+				return err
+			}
+		}
+	case *lang.ForStmt:
+		if st.Init != nil {
+			if err := m.exec(st.Init); err != nil {
+				return err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				c, err := m.eval(st.Cond)
+				if err != nil {
+					return err
+				}
+				if c == 0 {
+					return nil
+				}
+			}
+			if err := m.execBlock(st.Body); err != nil {
+				return err
+			}
+			if st.Post != nil {
+				if err := m.exec(st.Post); err != nil {
+					return err
+				}
+			}
+			if err := m.step(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("interp: unknown statement %T", s)
+	}
+}
+
+func (m *machine) eval(e lang.Expr) (int64, error) {
+	switch ex := e.(type) {
+	case *lang.IntLit:
+		return w32(ex.Val), nil
+	case *lang.VarRef:
+		return m.scalars[ex.Name], nil
+	case *lang.IndexExpr:
+		idx, err := m.eval(ex.Index)
+		if err != nil {
+			return 0, err
+		}
+		arr := m.arrays[ex.Array]
+		if idx < 0 || idx >= int64(len(arr)) {
+			m.res.OOBReads++
+			return 0, nil
+		}
+		return w32(arr[idx]), nil
+	case *lang.UnaryExpr:
+		x, err := m.eval(ex.X)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case lang.OpNeg:
+			return w32(operators.WordNeg(x, 32)), nil
+		case lang.OpBNot:
+			return w32(operators.WordNot(x, 32)), nil
+		case lang.OpLNot:
+			return operators.WordLNot(x, 32), nil
+		}
+		return 0, fmt.Errorf("interp: unknown unary %q", ex.Op)
+	case *lang.BinaryExpr:
+		l, err := m.eval(ex.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := m.eval(ex.R)
+		if err != nil {
+			return 0, err
+		}
+		fn, ok := BinFuncs[ex.Op]
+		if !ok {
+			return 0, fmt.Errorf("interp: unknown binary %q", ex.Op)
+		}
+		return w32(fn(l, r, 32)), nil
+	default:
+		return 0, fmt.Errorf("interp: unknown expression %T", e)
+	}
+}
+
+// BinFuncs maps MiniJ binary operators to the operator-library word
+// functions; the compiler uses the same table to pick functional-unit
+// types, which is what keeps reference and hardware semantics identical.
+var BinFuncs = map[lang.BinOp]operators.BinaryFn{
+	lang.OpAdd:  operators.WordAdd,
+	lang.OpSub:  operators.WordSub,
+	lang.OpMul:  operators.WordMul,
+	lang.OpDiv:  operators.WordDiv,
+	lang.OpMod:  operators.WordMod,
+	lang.OpShl:  operators.WordShl,
+	lang.OpShr:  operators.WordSra,
+	lang.OpUshr: operators.WordShr,
+	lang.OpAnd:  operators.WordAnd,
+	lang.OpOr:   operators.WordOr,
+	lang.OpXor:  operators.WordXor,
+	lang.OpEq:   operators.WordEq,
+	lang.OpNe:   operators.WordNe,
+	lang.OpLt:   operators.WordLt,
+	lang.OpLe:   operators.WordLe,
+	lang.OpGt:   operators.WordGt,
+	lang.OpGe:   operators.WordGe,
+	lang.OpLAnd: logicalAnd,
+	lang.OpLOr:  logicalOr,
+}
+
+// logicalAnd is non-short-circuit &&: (a!=0) & (b!=0). MiniJ expressions
+// have no side effects, so eager evaluation is observationally identical;
+// the compiler lowers && the same way (ne/ne/and operators).
+func logicalAnd(a, b int64, _ int) int64 {
+	if a != 0 && b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// logicalOr is non-short-circuit ||.
+func logicalOr(a, b int64, _ int) int64 {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}

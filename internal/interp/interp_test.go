@@ -1,0 +1,203 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lang"
+)
+
+func mustFunc(t *testing.T, src, name string) *lang.Func {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lang.Analyze(prog); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := prog.FindFunc(name)
+	if !ok {
+		t.Fatalf("function %s missing", name)
+	}
+	return f
+}
+
+func TestRunSimpleLoop(t *testing.T) {
+	f := mustFunc(t, `void f(int[] a, int n) {
+	  for (int i = 0; i < n; i = i + 1) { a[i] = i * i; }
+	}`, "f")
+	a := make([]int64, 8)
+	res, err := Run(f, map[string][]int64{"a": a}, map[string]int64{"n": 8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != int64(i*i) {
+			t.Fatalf("a=%v", a)
+		}
+	}
+	if res.Steps == 0 || res.OOBReads != 0 || res.OOBWrites != 0 {
+		t.Fatalf("res=%+v", res)
+	}
+}
+
+func TestRunIfElseAndWhile(t *testing.T) {
+	f := mustFunc(t, `void f(int[] a) {
+	  int i = 0;
+	  while (i < 6) {
+	    if (i % 2 == 0) { a[i] = 100 + i; } else { a[i] = -i; }
+	    i = i + 1;
+	  }
+	}`, "f")
+	a := make([]int64, 6)
+	if _, err := Run(f, map[string][]int64{"a": a}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, -1, 102, -3, 104, -5}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a=%v want %v", a, want)
+		}
+	}
+}
+
+func TestJavaIntSemantics(t *testing.T) {
+	f := mustFunc(t, `void f(int[] r, int a, int b) {
+	  r[0] = a + b;
+	  r[1] = a - b;
+	  r[2] = a * b;
+	  r[3] = a / b;
+	  r[4] = a % b;
+	  r[5] = a >> 1;
+	  r[6] = a >>> 1;
+	  r[7] = a << 1;
+	}`, "f")
+	r := make([]int64, 8)
+	// a = Integer.MIN_VALUE+1, b = -3: exercises wrap and sign rules.
+	a, b := int64(-2147483647), int64(-3)
+	if _, err := Run(f, map[string][]int64{"r": r},
+		map[string]int64{"a": a, "b": b}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{
+		2147483646,  // MIN+1 + -3 wraps
+		-2147483644, // a - b
+		2147483645,  // a*b mod 2^32, Java: (-2147483647)*(-3)=6442450941 -> int 2147483645
+		715827882,   // a/b truncates toward zero
+		-1,          // a%b keeps dividend sign
+		-1073741824, // arithmetic shift (sign in)
+		1073741824,  // logical shift  (>>> 1 of 0x80000001 = 0x40000000)
+		2,           // a<<1 wraps: 0x80000001<<1 = 0x00000002
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("r[%d]=%d want %d", i, r[i], want[i])
+		}
+	}
+}
+
+func TestDivModByZeroDefined(t *testing.T) {
+	f := mustFunc(t, `void f(int[] r, int a) { r[0] = a / 0; r[1] = a % 0; }`, "f")
+	r := []int64{7, 7}
+	if _, err := Run(f, map[string][]int64{"r": r}, map[string]int64{"a": 5}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0 || r[1] != 0 {
+		t.Fatalf("r=%v want zeros", r)
+	}
+}
+
+func TestLogicalOpsProduceBits(t *testing.T) {
+	f := mustFunc(t, `void f(int[] r, int a, int b) {
+	  r[0] = a && b;
+	  r[1] = a || b;
+	  r[2] = !a;
+	  r[3] = ~a;
+	}`, "f")
+	r := make([]int64, 4)
+	if _, err := Run(f, map[string][]int64{"r": r},
+		map[string]int64{"a": 5, "b": 0}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0 || r[1] != 1 || r[2] != 0 || r[3] != -6 {
+		t.Fatalf("r=%v", r)
+	}
+}
+
+func TestOOBAccounting(t *testing.T) {
+	f := mustFunc(t, `void f(int[] a) { a[100] = 1; int x = a[200]; a[0] = x + 1; }`, "f")
+	a := make([]int64, 4)
+	res, err := Run(f, map[string][]int64{"a": a}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OOBWrites != 1 || res.OOBReads != 1 {
+		t.Fatalf("res=%+v", res)
+	}
+	if a[0] != 1 { // OOB read returns 0
+		t.Fatalf("a=%v", a)
+	}
+}
+
+func TestStepBound(t *testing.T) {
+	f := mustFunc(t, `void f() { int i = 0; while (1) { i = i + 1; } }`, "f")
+	_, err := Run(f, nil, nil, Options{MaxSteps: 1000})
+	if err == nil {
+		t.Fatal("expected step bound error")
+	}
+}
+
+func TestUnboundParams(t *testing.T) {
+	f := mustFunc(t, `void f(int[] a, int n) {}`, "f")
+	if _, err := Run(f, nil, map[string]int64{"n": 1}, Options{}); err == nil {
+		t.Fatal("missing array must error")
+	}
+	if _, err := Run(f, map[string][]int64{"a": {}}, nil, Options{}); err == nil {
+		t.Fatal("missing scalar must error")
+	}
+}
+
+func TestPartitionMarkerIsSequential(t *testing.T) {
+	f := mustFunc(t, `void f(int[] a, int[] b) {
+	  for (int i = 0; i < 4; i = i + 1) { b[i] = a[i] * 3; }
+	  partition;
+	  for (int j = 0; j < 4; j = j + 1) { a[j] = b[j] + 1; }
+	}`, "f")
+	a := []int64{1, 2, 3, 4}
+	b := make([]int64, 4)
+	if _, err := Run(f, map[string][]int64{"a": a, "b": b}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a[3] != 13 || b[3] != 12 {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+}
+
+func TestInterpreterMatchesGoIntArithmeticProperty(t *testing.T) {
+	// Property: for random int32 pairs, MiniJ expression evaluation
+	// matches direct Go int32 arithmetic for + - * and comparisons.
+	f := mustFunc(t, `void f(int[] r, int a, int b) {
+	  r[0] = a + b;
+	  r[1] = a - b;
+	  r[2] = a * b;
+	  r[3] = a < b;
+	  r[4] = (a ^ b) & 0xFF;
+	}`, "f")
+	prop := func(a, b int32) bool {
+		r := make([]int64, 5)
+		if _, err := Run(f, map[string][]int64{"r": r},
+			map[string]int64{"a": int64(a), "b": int64(b)}, Options{}); err != nil {
+			return false
+		}
+		lt := int64(0)
+		if a < b {
+			lt = 1
+		}
+		return r[0] == int64(a+b) && r[1] == int64(a-b) && r[2] == int64(a*b) &&
+			r[3] == lt && r[4] == int64((a^b)&0xFF)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

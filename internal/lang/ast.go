@@ -1,0 +1,174 @@
+package lang
+
+// Program is a compilation unit: one or more functions.
+type Program struct {
+	Funcs []*Func
+}
+
+// FindFunc returns the named function.
+func (p *Program) FindFunc(name string) (*Func, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Func is a void function; its parameters are the design's external
+// interface (arrays become SRAMs, scalars become compile-time constants
+// supplied by the harness).
+type Func struct {
+	Name   string
+	Params []*Param
+	Body   []Stmt
+	Pos    Pos
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name    string
+	IsArray bool
+	Pos     Pos
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local int, optionally initialised.
+type DeclStmt struct {
+	Name string
+	Init Expr // may be nil (implicitly 0)
+	Pos  Pos
+}
+
+// AssignStmt assigns to a scalar variable.
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Pos  Pos
+}
+
+// StoreStmt assigns to an array element.
+type StoreStmt struct {
+	Array string
+	Index Expr
+	Expr  Expr
+	Pos   Pos
+}
+
+// IfStmt is a two-way branch.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Pos  Pos
+}
+
+// ForStmt is the C-style for; Init and Post are simple assignments or
+// declarations (Init only).
+type ForStmt struct {
+	Init Stmt // nil, DeclStmt or AssignStmt
+	Cond Expr // nil means true
+	Post Stmt // nil or AssignStmt
+	Body []Stmt
+	Pos  Pos
+}
+
+// PartitionStmt marks a temporal partition boundary (top level only).
+type PartitionStmt struct {
+	Pos Pos
+}
+
+func (*DeclStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()    {}
+func (*StoreStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()       {}
+func (*PartitionStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// VarRef reads a scalar variable or scalar parameter.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Array string
+	Index Expr
+	Pos   Pos
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp string
+
+// Unary operators.
+const (
+	OpNeg  UnaryOp = "-"
+	OpBNot UnaryOp = "~"
+	OpLNot UnaryOp = "!"
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp string
+
+// Binary operators (Java int semantics).
+const (
+	OpAdd  BinOp = "+"
+	OpSub  BinOp = "-"
+	OpMul  BinOp = "*"
+	OpDiv  BinOp = "/"
+	OpMod  BinOp = "%"
+	OpShl  BinOp = "<<"
+	OpShr  BinOp = ">>"  // arithmetic
+	OpUshr BinOp = ">>>" // logical
+	OpAnd  BinOp = "&"
+	OpOr   BinOp = "|"
+	OpXor  BinOp = "^"
+	OpLAnd BinOp = "&&"
+	OpLOr  BinOp = "||"
+	OpEq   BinOp = "=="
+	OpNe   BinOp = "!="
+	OpLt   BinOp = "<"
+	OpLe   BinOp = "<="
+	OpGt   BinOp = ">"
+	OpGe   BinOp = ">="
+)
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos  Pos
+}
+
+func (*IntLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

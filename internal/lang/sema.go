@@ -1,0 +1,231 @@
+package lang
+
+import "fmt"
+
+// FuncInfo summarises a function after semantic analysis.
+type FuncInfo struct {
+	Name       string
+	Arrays     []string // array parameters, in declaration order
+	ScalarArgs []string // scalar parameters, in declaration order
+	Partitions int      // number of temporal partitions (markers + 1)
+}
+
+// Info is the semantic analysis result.
+type Info struct {
+	Funcs map[string]*FuncInfo
+}
+
+type symKind int
+
+const (
+	symScalar symKind = iota
+	symArray
+	symScalarParam // scalar parameter: read-only (compiled to a constant)
+)
+
+type scope struct {
+	parent *scope
+	syms   map[string]symKind
+}
+
+func (s *scope) lookup(name string) (symKind, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if k, ok := cur.syms[name]; ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func (s *scope) declare(name string, k symKind, pos Pos) error {
+	if _, exists := s.lookup(name); exists {
+		return fmt.Errorf("lang: %s: %q already declared (shadowing is not allowed)", pos, name)
+	}
+	s.syms[name] = k
+	return nil
+}
+
+type analyzer struct {
+	arrays map[string]bool // array params (visible across partitions)
+}
+
+// Analyze performs semantic checking on the whole program: declaration
+// before use, scalar/array usage discipline, partition marker placement,
+// and the rule that scalars do not cross temporal partitions (partitions
+// communicate only through the array parameters, which become the shared
+// SRAMs of the RTG).
+func Analyze(prog *Program) (*Info, error) {
+	info := &Info{Funcs: map[string]*FuncInfo{}}
+	for _, f := range prog.Funcs {
+		if _, dup := info.Funcs[f.Name]; dup {
+			return nil, fmt.Errorf("lang: %s: duplicate function %q", f.Pos, f.Name)
+		}
+		fi, err := analyzeFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		info.Funcs[f.Name] = fi
+	}
+	return info, nil
+}
+
+func analyzeFunc(f *Func) (*FuncInfo, error) {
+	a := &analyzer{arrays: map[string]bool{}}
+	fi := &FuncInfo{Name: f.Name, Partitions: 1}
+	top := &scope{syms: map[string]symKind{}}
+	for _, p := range f.Params {
+		k := symScalarParam
+		if p.IsArray {
+			k = symArray
+			a.arrays[p.Name] = true
+			fi.Arrays = append(fi.Arrays, p.Name)
+		} else {
+			fi.ScalarArgs = append(fi.ScalarArgs, p.Name)
+		}
+		if err := top.declare(p.Name, k, p.Pos); err != nil {
+			return nil, err
+		}
+	}
+
+	// Each partition gets a fresh scalar scope over the shared parameter
+	// scope, enforcing the no-scalars-across-partitions rule.
+	part := &scope{parent: top, syms: map[string]symKind{}}
+	for _, s := range f.Body {
+		if marker, ok := s.(*PartitionStmt); ok {
+			_ = marker
+			fi.Partitions++
+			part = &scope{parent: top, syms: map[string]symKind{}}
+			continue
+		}
+		if err := a.checkStmt(s, part, true); err != nil {
+			return nil, err
+		}
+	}
+	return fi, nil
+}
+
+func (a *analyzer) checkStmt(s Stmt, sc *scope, topLevel bool) error {
+	switch st := s.(type) {
+	case *PartitionStmt:
+		return fmt.Errorf("lang: %s: partition markers are only allowed at function top level", st.Pos)
+	case *DeclStmt:
+		if st.Init != nil {
+			if err := a.checkExpr(st.Init, sc); err != nil {
+				return err
+			}
+		}
+		return sc.declare(st.Name, symScalar, st.Pos)
+	case *AssignStmt:
+		k, ok := sc.lookup(st.Name)
+		if !ok {
+			return fmt.Errorf("lang: %s: assignment to undeclared %q", st.Pos, st.Name)
+		}
+		if k == symArray {
+			return fmt.Errorf("lang: %s: cannot assign to array %q without an index", st.Pos, st.Name)
+		}
+		if k == symScalarParam {
+			return fmt.Errorf("lang: %s: cannot assign to scalar parameter %q (parameters are design constants)", st.Pos, st.Name)
+		}
+		return a.checkExpr(st.Expr, sc)
+	case *StoreStmt:
+		k, ok := sc.lookup(st.Array)
+		if !ok {
+			return fmt.Errorf("lang: %s: store to undeclared %q", st.Pos, st.Array)
+		}
+		if k != symArray {
+			return fmt.Errorf("lang: %s: %q is not an array", st.Pos, st.Array)
+		}
+		if err := a.checkExpr(st.Index, sc); err != nil {
+			return err
+		}
+		return a.checkExpr(st.Expr, sc)
+	case *IfStmt:
+		if err := a.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		inner := &scope{parent: sc, syms: map[string]symKind{}}
+		for _, sub := range st.Then {
+			if err := a.checkStmt(sub, inner, false); err != nil {
+				return err
+			}
+		}
+		inner = &scope{parent: sc, syms: map[string]symKind{}}
+		for _, sub := range st.Else {
+			if err := a.checkStmt(sub, inner, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *WhileStmt:
+		if err := a.checkExpr(st.Cond, sc); err != nil {
+			return err
+		}
+		inner := &scope{parent: sc, syms: map[string]symKind{}}
+		for _, sub := range st.Body {
+			if err := a.checkStmt(sub, inner, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ForStmt:
+		header := &scope{parent: sc, syms: map[string]symKind{}}
+		if st.Init != nil {
+			if err := a.checkStmt(st.Init, header, false); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := a.checkExpr(st.Cond, header); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := a.checkStmt(st.Post, header, false); err != nil {
+				return err
+			}
+		}
+		inner := &scope{parent: header, syms: map[string]symKind{}}
+		for _, sub := range st.Body {
+			if err := a.checkStmt(sub, inner, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("lang: unknown statement %T", s)
+	}
+}
+
+func (a *analyzer) checkExpr(e Expr, sc *scope) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		return nil
+	case *VarRef:
+		k, ok := sc.lookup(ex.Name)
+		if !ok {
+			return fmt.Errorf("lang: %s: undeclared variable %q", ex.Pos, ex.Name)
+		}
+		if k == symArray {
+			return fmt.Errorf("lang: %s: array %q used without an index", ex.Pos, ex.Name)
+		}
+		return nil
+	case *IndexExpr:
+		k, ok := sc.lookup(ex.Array)
+		if !ok {
+			return fmt.Errorf("lang: %s: undeclared array %q", ex.Pos, ex.Array)
+		}
+		if k != symArray {
+			return fmt.Errorf("lang: %s: %q is not an array", ex.Pos, ex.Array)
+		}
+		return a.checkExpr(ex.Index, sc)
+	case *UnaryExpr:
+		return a.checkExpr(ex.X, sc)
+	case *BinaryExpr:
+		if err := a.checkExpr(ex.L, sc); err != nil {
+			return err
+		}
+		return a.checkExpr(ex.R, sc)
+	default:
+		return fmt.Errorf("lang: unknown expression %T", e)
+	}
+}

@@ -1,0 +1,109 @@
+// Package lang implements MiniJ, the Java-like subset the reproduction's
+// compiler accepts — standing in for the Java algorithms Galadriel & Nenya
+// compile. MiniJ has 32-bit int scalars and int arrays, the full Java
+// integer operator set, if/while/for control flow, and an explicit
+// `partition;` marker for temporal partitioning.
+package lang
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+
+	// Keywords.
+	TokKwVoid
+	TokKwInt
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwPartition
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemicolon
+
+	// Operators.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokShl  // <<
+	TokShr  // >>  (arithmetic, as in Java)
+	TokUshr // >>> (logical, as in Java)
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokAndAnd
+	TokOrOr
+	TokEq // ==
+	TokNe // !=
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokInt: "integer literal",
+	TokKwVoid: "void", TokKwInt: "int", TokKwIf: "if", TokKwElse: "else",
+	TokKwWhile: "while", TokKwFor: "for", TokKwPartition: "partition",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemicolon: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokShl: "<<", TokShr: ">>", TokUshr: ">>>",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~", TokBang: "!",
+	TokAndAnd: "&&", TokOrOr: "||", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+// String names the kind for error messages.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Lit  string // identifier text or literal digits
+	Val  int64  // TokInt value
+	Pos  Pos
+}
+
+var keywords = map[string]TokenKind{
+	"void":      TokKwVoid,
+	"int":       TokKwInt,
+	"if":        TokKwIf,
+	"else":      TokKwElse,
+	"while":     TokKwWhile,
+	"for":       TokKwFor,
+	"partition": TokKwPartition,
+}

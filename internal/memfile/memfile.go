@@ -1,0 +1,137 @@
+// Package memfile reads and writes the memory-content and stimulus files
+// of the verification flow: "Memory contents and I/O data are stored in
+// files. Those files are used when executing the Java input algorithm...
+// After simulation, a simple comparison of data content is performed to
+// verify results." (paper, §2).
+//
+// The format is line-oriented text: one word per line, decimal or 0x hex,
+// with #-comments and blank lines ignored. An optional "@<addr>" directive
+// sets the next write address, allowing sparse files.
+package memfile
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Load reads every word of a memory file.
+func Load(path string) ([]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var words []int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, field := range strings.Fields(line) {
+			if strings.HasPrefix(field, "@") {
+				addr, err := strconv.ParseInt(field[1:], 0, 64)
+				if err != nil || addr < 0 {
+					return nil, fmt.Errorf("memfile: %s:%d: bad address directive %q", path, lineNo, field)
+				}
+				for int64(len(words)) < addr {
+					words = append(words, 0)
+				}
+				if int64(len(words)) > addr {
+					words = words[:addr]
+				}
+				continue
+			}
+			v, err := strconv.ParseInt(field, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("memfile: %s:%d: bad word %q", path, lineNo, field)
+			}
+			words = append(words, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("memfile: %s: %w", path, err)
+	}
+	return words, nil
+}
+
+// LoadSized loads a file and pads/truncates to depth words.
+func LoadSized(path string, depth int) ([]int64, error) {
+	words, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, depth)
+	copy(out, words)
+	return out, nil
+}
+
+// Save writes words one per line with a header comment.
+func Save(path string, words []int64, comment string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			fmt.Fprintf(w, "# %s\n", line)
+		}
+	}
+	for _, v := range words {
+		fmt.Fprintf(w, "%d\n", v)
+	}
+	return w.Flush()
+}
+
+// Mismatch is one differing word between expected and actual contents.
+type Mismatch struct {
+	Addr     int
+	Expected int64
+	Actual   int64
+}
+
+// Compare checks actual against expected word-by-word (by expected's
+// length; actual shorter than expected compares missing words as 0) and
+// returns up to max mismatches (0 = all).
+func Compare(expected, actual []int64, max int) []Mismatch {
+	var out []Mismatch
+	for i, want := range expected {
+		got := int64(0)
+		if i < len(actual) {
+			got = actual[i]
+		}
+		if got != want {
+			out = append(out, Mismatch{Addr: i, Expected: want, Actual: got})
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// FormatMismatches renders a short human-readable report.
+func FormatMismatches(name string, ms []Mismatch, limit int) string {
+	if len(ms) == 0 {
+		return fmt.Sprintf("%s: OK", name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d mismatch(es)", name, len(ms))
+	for i, m := range ms {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(&b, "\n  ... (%d more)", len(ms)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "\n  [%d] expected %d, got %d", m.Addr, m.Expected, m.Actual)
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package memfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.mem")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBasic(t *testing.T) {
+	path := writeTemp(t, "1\n2\n-3\n0x10\n")
+	words, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, -3, 16}
+	if len(words) != len(want) {
+		t.Fatalf("words=%v", words)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("words=%v want %v", words, want)
+		}
+	}
+}
+
+func TestLoadCommentsAndBlank(t *testing.T) {
+	path := writeTemp(t, "# header\n\n1 2 3 # trailing\n\n4\n")
+	words, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 4 || words[3] != 4 {
+		t.Fatalf("words=%v", words)
+	}
+}
+
+func TestLoadAddressDirective(t *testing.T) {
+	path := writeTemp(t, "@4\n7\n8\n")
+	words, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 0, 0, 0, 7, 8}
+	if len(words) != len(want) {
+		t.Fatalf("words=%v", words)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("words=%v", words)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, content := range []string{"zz\n", "@-1\n", "@x\n", "1.5\n"} {
+		path := writeTemp(t, content)
+		if _, err := Load(path); err == nil {
+			t.Errorf("Load(%q) must fail", content)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.mem")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestLoadSized(t *testing.T) {
+	path := writeTemp(t, "1\n2\n")
+	words, err := LoadSized(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 4 || words[0] != 1 || words[2] != 0 {
+		t.Fatalf("words=%v", words)
+	}
+	words, err = LoadSized(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 1 || words[0] != 1 {
+		t.Fatalf("words=%v", words)
+	}
+}
+
+func TestSaveLoadRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(words []int64) bool {
+		i++
+		path := filepath.Join(dir, "rt.mem")
+		if err := Save(path, words, "round trip"); err != nil {
+			return false
+		}
+		back, err := Load(path)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(words) {
+			return false
+		}
+		for j := range words {
+			if back[j] != words[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	exp := []int64{1, 2, 3, 4}
+	act := []int64{1, 9, 3}
+	ms := Compare(exp, act, 0)
+	if len(ms) != 2 {
+		t.Fatalf("ms=%v", ms)
+	}
+	if ms[0].Addr != 1 || ms[0].Expected != 2 || ms[0].Actual != 9 {
+		t.Fatalf("ms[0]=%+v", ms[0])
+	}
+	if ms[1].Addr != 3 || ms[1].Actual != 0 {
+		t.Fatalf("ms[1]=%+v", ms[1])
+	}
+	if got := Compare(exp, exp, 0); got != nil {
+		t.Fatalf("equal compare=%v", got)
+	}
+	if got := Compare(exp, act, 1); len(got) != 1 {
+		t.Fatalf("capped compare=%v", got)
+	}
+}
+
+func TestFormatMismatches(t *testing.T) {
+	if s := FormatMismatches("out", nil, 5); !strings.Contains(s, "OK") {
+		t.Fatalf("s=%q", s)
+	}
+	ms := Compare([]int64{1, 2, 3}, []int64{0, 0, 0}, 0)
+	s := FormatMismatches("out", ms, 2)
+	if !strings.Contains(s, "3 mismatch") || !strings.Contains(s, "1 more") {
+		t.Fatalf("s=%q", s)
+	}
+}

@@ -1,0 +1,184 @@
+package operators
+
+import (
+	"repro/internal/hades"
+)
+
+// Const drives a constant value onto its output once at elaboration time.
+type Const struct {
+	hades.IDBase
+	name string
+	y    *hades.Signal
+	val  int64
+}
+
+// Name returns the instance name.
+func (c *Const) Name() string { return c.name }
+
+// React is a no-op; the value never changes.
+func (c *Const) React(*hades.Simulator) {}
+
+// UnaryFn computes a one-input combinational function on width-bit words.
+type UnaryFn func(a int64, width int) int64
+
+// Unary is a generic one-input combinational operator.
+type Unary struct {
+	hades.IDBase
+	name  string
+	a, y  *hades.Signal
+	width int
+	fn    UnaryFn
+}
+
+// Name returns the instance name.
+func (u *Unary) Name() string { return u.name }
+
+// React recomputes the output when the input is defined.
+func (u *Unary) React(sim *hades.Simulator) {
+	if u.a.Valid() {
+		sim.Set(u.y, u.fn(u.a.Int(), u.width), 0)
+	}
+}
+
+// BinaryFn computes a two-input combinational function on width-bit words.
+type BinaryFn func(a, b int64, width int) int64
+
+// Binary is a generic two-input combinational operator.
+type Binary struct {
+	hades.IDBase
+	name    string
+	a, b, y *hades.Signal
+	width   int
+	fn      BinaryFn
+}
+
+// Name returns the instance name.
+func (o *Binary) Name() string { return o.name }
+
+// React recomputes the output when both inputs are defined.
+func (o *Binary) React(sim *hades.Simulator) {
+	if o.a.Valid() && o.b.Valid() {
+		sim.Set(o.y, o.fn(o.a.Int(), o.b.Int(), o.width), 0)
+	}
+}
+
+// Word-level semantics shared with the golden interpreter (internal/interp
+// mirrors these exactly; verification depends on the two agreeing).
+
+// WordAdd adds with wrap-around.
+func WordAdd(a, b int64, _ int) int64 { return a + b }
+
+// WordSub subtracts with wrap-around.
+func WordSub(a, b int64, _ int) int64 { return a - b }
+
+// WordMul multiplies with wrap-around.
+func WordMul(a, b int64, _ int) int64 { return a * b }
+
+// WordDiv divides (signed); division by zero yields 0.
+func WordDiv(a, b int64, _ int) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WordMod is the signed remainder; remainder by zero yields 0.
+func WordMod(a, b int64, _ int) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a % b
+}
+
+// WordAnd is bitwise and.
+func WordAnd(a, b int64, _ int) int64 { return a & b }
+
+// WordOr is bitwise or.
+func WordOr(a, b int64, _ int) int64 { return a | b }
+
+// WordXor is bitwise exclusive-or.
+func WordXor(a, b int64, _ int) int64 { return a ^ b }
+
+// WordShl shifts left; the amount is taken modulo 64.
+func WordShl(a, b int64, _ int) int64 { return a << (uint64(b) & 63) }
+
+// WordShr shifts right logically within the operator width.
+func WordShr(a, b int64, width int) int64 {
+	return int64(hades.Mask(uint64(a), width) >> (uint64(b) & 63))
+}
+
+// WordSra shifts right arithmetically (sign bit replicates).
+func WordSra(a, b int64, _ int) int64 { return a >> (uint64(b) & 63) }
+
+// WordNeg is two's-complement negation.
+func WordNeg(a int64, _ int) int64 { return -a }
+
+// WordNot is bitwise complement.
+func WordNot(a int64, _ int) int64 { return ^a }
+
+// WordLNot is logical not: 1 when the word is zero, else 0.
+func WordLNot(a int64, _ int) int64 {
+	if a == 0 {
+		return 1
+	}
+	return 0
+}
+
+// WordB2I zero-extends a 1-bit value to a word: comparison outputs used
+// in value context go through this so that the bit 1 reads as integer 1
+// rather than the sign-extended -1.
+func WordB2I(a int64, _ int) int64 { return a & 1 }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Comparison functions produce a 1-bit result on signed operands.
+
+// WordEq is a == b.
+func WordEq(a, b int64, _ int) int64 { return b2i(a == b) }
+
+// WordNe is a != b.
+func WordNe(a, b int64, _ int) int64 { return b2i(a != b) }
+
+// WordLt is a < b (signed).
+func WordLt(a, b int64, _ int) int64 { return b2i(a < b) }
+
+// WordLe is a <= b (signed).
+func WordLe(a, b int64, _ int) int64 { return b2i(a <= b) }
+
+// WordGt is a > b (signed).
+func WordGt(a, b int64, _ int) int64 { return b2i(a > b) }
+
+// WordGe is a >= b (signed).
+func WordGe(a, b int64, _ int) int64 { return b2i(a >= b) }
+
+// Mux is an n-way word multiplexer with a select input.
+type Mux struct {
+	hades.IDBase
+	name string
+	ins  []*hades.Signal
+	sel  *hades.Signal
+	y    *hades.Signal
+}
+
+// Name returns the instance name.
+func (m *Mux) Name() string { return m.name }
+
+// React forwards the selected input when select and that input are defined.
+func (m *Mux) React(sim *hades.Simulator) {
+	if !m.sel.Valid() {
+		return
+	}
+	idx := int(m.sel.Uint())
+	if idx < 0 || idx >= len(m.ins) {
+		return
+	}
+	in := m.ins[idx]
+	if in.Valid() {
+		sim.Set(m.y, in.Int(), 0)
+	}
+}

@@ -1,0 +1,379 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/hades"
+)
+
+// DefaultRegistry builds the full operator library used by the
+// infrastructure; netlist elaboration resolves datapath XML operator types
+// against it.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(constSpec())
+	for _, u := range []struct {
+		typ string
+		fn  UnaryFn
+	}{
+		{"neg", WordNeg}, {"not", WordNot}, {"lnot", WordLNot},
+	} {
+		r.Register(unarySpec(u.typ, u.fn))
+	}
+	for _, b := range []struct {
+		typ string
+		fn  BinaryFn
+	}{
+		{"add", WordAdd}, {"sub", WordSub}, {"mul", WordMul},
+		{"div", WordDiv}, {"mod", WordMod},
+		{"and", WordAnd}, {"or", WordOr}, {"xor", WordXor},
+		{"shl", WordShl}, {"shr", WordShr}, {"sra", WordSra},
+	} {
+		r.Register(binarySpec(b.typ, b.fn))
+	}
+	for _, c := range []struct {
+		typ string
+		fn  BinaryFn
+	}{
+		{"eq", WordEq}, {"ne", WordNe}, {"lt", WordLt},
+		{"le", WordLe}, {"gt", WordGt}, {"ge", WordGe},
+	} {
+		r.Register(cmpSpec(c.typ, c.fn))
+	}
+	r.Register(b2iSpec())
+	r.Register(muxSpec())
+	r.Register(regSpec())
+	r.Register(ramSpec())
+	r.Register(romSpec())
+	r.Register(stimSpec())
+	r.Register(sinkSpec())
+	return r
+}
+
+func constSpec() *Spec {
+	return &Spec{
+		Type: "const",
+		Ports: func(p Params) []PortSpec {
+			return []PortSpec{{"y", Out, defWidth(p)}}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			y, err := need(conn, name, "y")
+			if err != nil {
+				return nil, err
+			}
+			c := &Const{name: name, y: y, val: p.Value}
+			c.AssignID(hades.NextID())
+			sim.Drive(y, p.Value)
+			return c, nil
+		},
+	}
+}
+
+func unarySpec(typ string, fn UnaryFn) *Spec {
+	return &Spec{
+		Type: typ,
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			ow := w
+			if typ == "lnot" {
+				ow = 1
+			}
+			return []PortSpec{{"a", In, w}, {"y", Out, ow}}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			a, err := need(conn, name, "a")
+			if err != nil {
+				return nil, err
+			}
+			y, err := need(conn, name, "y")
+			if err != nil {
+				return nil, err
+			}
+			u := &Unary{name: name, a: a, y: y, width: defWidth(p), fn: fn}
+			u.AssignID(hades.NextID())
+			a.Listen(u)
+			return u, nil
+		},
+	}
+}
+
+func buildBinary(fn BinaryFn) func(*hades.Simulator, string, Params, map[string]*hades.Signal) (hades.Reactor, error) {
+	return func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+		a, err := need(conn, name, "a")
+		if err != nil {
+			return nil, err
+		}
+		b, err := need(conn, name, "b")
+		if err != nil {
+			return nil, err
+		}
+		y, err := need(conn, name, "y")
+		if err != nil {
+			return nil, err
+		}
+		o := &Binary{name: name, a: a, b: b, y: y, width: defWidth(p), fn: fn}
+		o.AssignID(hades.NextID())
+		a.Listen(o)
+		b.Listen(o)
+		return o, nil
+	}
+}
+
+func binarySpec(typ string, fn BinaryFn) *Spec {
+	return &Spec{
+		Type: typ,
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			return []PortSpec{{"a", In, w}, {"b", In, w}, {"y", Out, w}}
+		},
+		Build: buildBinary(fn),
+	}
+}
+
+func cmpSpec(typ string, fn BinaryFn) *Spec {
+	return &Spec{
+		Type: typ,
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			return []PortSpec{{"a", In, w}, {"b", In, w}, {"y", Out, 1}}
+		},
+		Build: buildBinary(fn),
+	}
+}
+
+func b2iSpec() *Spec {
+	return &Spec{
+		Type: "b2i",
+		Ports: func(p Params) []PortSpec {
+			return []PortSpec{{"a", In, 1}, {"y", Out, defWidth(p)}}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			a, err := need(conn, name, "a")
+			if err != nil {
+				return nil, err
+			}
+			y, err := need(conn, name, "y")
+			if err != nil {
+				return nil, err
+			}
+			u := &Unary{name: name, a: a, y: y, width: defWidth(p), fn: WordB2I}
+			u.AssignID(hades.NextID())
+			a.Listen(u)
+			return u, nil
+		},
+	}
+}
+
+func muxSpec() *Spec {
+	return &Spec{
+		Type: "mux",
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			n := p.Inputs
+			if n < 2 {
+				n = 2
+			}
+			ports := make([]PortSpec, 0, n+2)
+			for i := 0; i < n; i++ {
+				ports = append(ports, PortSpec{fmt.Sprintf("in%d", i), In, w})
+			}
+			ports = append(ports, PortSpec{"sel", In, AddrWidth(n)}, PortSpec{"y", Out, w})
+			return ports
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			n := p.Inputs
+			if n < 2 {
+				n = 2
+			}
+			m := &Mux{name: name}
+			m.AssignID(hades.NextID())
+			for i := 0; i < n; i++ {
+				in, err := need(conn, name, fmt.Sprintf("in%d", i))
+				if err != nil {
+					return nil, err
+				}
+				m.ins = append(m.ins, in)
+				in.Listen(m)
+			}
+			sel, err := need(conn, name, "sel")
+			if err != nil {
+				return nil, err
+			}
+			y, err := need(conn, name, "y")
+			if err != nil {
+				return nil, err
+			}
+			m.sel, m.y = sel, y
+			sel.Listen(m)
+			return m, nil
+		},
+	}
+}
+
+func regSpec() *Spec {
+	return &Spec{
+		Type: "reg",
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			return []PortSpec{
+				{"clk", In, 1}, {"d", In, w}, {"q", Out, w},
+				{"en", In, 1}, {"rst", In, 1},
+			}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			clk, err := need(conn, name, "clk")
+			if err != nil {
+				return nil, err
+			}
+			d, err := need(conn, name, "d")
+			if err != nil {
+				return nil, err
+			}
+			q, err := need(conn, name, "q")
+			if err != nil {
+				return nil, err
+			}
+			r := &Register{
+				name: name, clk: clk, d: d, q: q,
+				en: optional(conn, "en"), rst: optional(conn, "rst"),
+				initVal: p.Value,
+			}
+			r.AssignID(hades.NextID())
+			clk.Listen(r)
+			// Power-on value: registers come up holding their reset value,
+			// which breaks X-propagation cycles through register feedback
+			// loops (i = i + 1 would otherwise never become defined).
+			sim.Drive(q, p.Value)
+			return r, nil
+		},
+	}
+}
+
+func ramSpec() *Spec {
+	return &Spec{
+		Type: "ram",
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			return []PortSpec{
+				{"clk", In, 1}, {"addr", In, AddrWidth(p.Depth)},
+				{"din", In, w}, {"we", In, 1}, {"dout", Out, w},
+			}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			if p.Depth <= 0 {
+				return nil, fmt.Errorf("operators: ram %q needs a positive depth", name)
+			}
+			clk, err := need(conn, name, "clk")
+			if err != nil {
+				return nil, err
+			}
+			addr, err := need(conn, name, "addr")
+			if err != nil {
+				return nil, err
+			}
+			din, err := need(conn, name, "din")
+			if err != nil {
+				return nil, err
+			}
+			we, err := need(conn, name, "we")
+			if err != nil {
+				return nil, err
+			}
+			dout, err := need(conn, name, "dout")
+			if err != nil {
+				return nil, err
+			}
+			m := &RAM{
+				name: name, mem: make([]uint64, p.Depth), width: defWidth(p),
+				clk: clk, addr: addr, din: din, we: we, dout: dout,
+			}
+			m.AssignID(hades.NextID())
+			m.LoadContents(p.Init)
+			clk.Listen(m)
+			addr.Listen(m)
+			return m, nil
+		},
+	}
+}
+
+func romSpec() *Spec {
+	return &Spec{
+		Type: "rom",
+		Ports: func(p Params) []PortSpec {
+			w := defWidth(p)
+			return []PortSpec{{"addr", In, AddrWidth(p.Depth)}, {"dout", Out, w}}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			if p.Depth <= 0 {
+				return nil, fmt.Errorf("operators: rom %q needs a positive depth", name)
+			}
+			addr, err := need(conn, name, "addr")
+			if err != nil {
+				return nil, err
+			}
+			dout, err := need(conn, name, "dout")
+			if err != nil {
+				return nil, err
+			}
+			m := &ROM{name: name, mem: make([]uint64, p.Depth), width: defWidth(p), addr: addr, dout: dout}
+			m.AssignID(hades.NextID())
+			for i, v := range p.Init {
+				if i < len(m.mem) {
+					m.mem[i] = hades.Mask(uint64(v), m.width)
+				}
+			}
+			addr.Listen(m)
+			return m, nil
+		},
+	}
+}
+
+func stimSpec() *Spec {
+	return &Spec{
+		Type: "stim",
+		Ports: func(p Params) []PortSpec {
+			return []PortSpec{{"clk", In, 1}, {"out", Out, defWidth(p)}, {"last", Out, 1}}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			clk, err := need(conn, name, "clk")
+			if err != nil {
+				return nil, err
+			}
+			out, err := need(conn, name, "out")
+			if err != nil {
+				return nil, err
+			}
+			last, err := need(conn, name, "last")
+			if err != nil {
+				return nil, err
+			}
+			s := &Stimulus{name: name, clk: clk, out: out, last: last, vec: p.Init}
+			s.AssignID(hades.NextID())
+			clk.Listen(s)
+			return s, nil
+		},
+	}
+}
+
+func sinkSpec() *Spec {
+	return &Spec{
+		Type: "sink",
+		Ports: func(p Params) []PortSpec {
+			return []PortSpec{{"clk", In, 1}, {"in", In, defWidth(p)}, {"en", In, 1}}
+		},
+		Build: func(sim *hades.Simulator, name string, p Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			clk, err := need(conn, name, "clk")
+			if err != nil {
+				return nil, err
+			}
+			in, err := need(conn, name, "in")
+			if err != nil {
+				return nil, err
+			}
+			s := &Sink{name: name, clk: clk, in: in, en: optional(conn, "en")}
+			s.AssignID(hades.NextID())
+			clk.Listen(s)
+			return s, nil
+		},
+	}
+}

@@ -1,0 +1,217 @@
+// Package rtg executes a Reconfiguration Transition Graph: it sequences
+// the temporal partitions of a multi-configuration design, building each
+// configuration on a fresh simulator, running it to completion, and
+// carrying shared memory contents across reconfigurations — the role of
+// the generated rtg.java in the paper's flow ("Java code that controls
+// the execution of the simulation through the set of temporal
+// partitions").
+package rtg
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hades"
+	"repro/internal/netlist"
+	"repro/internal/operators"
+	"repro/internal/xmlspec"
+)
+
+// Options tunes RTG execution.
+type Options struct {
+	Registry    *operators.Registry // nil: default
+	ClockPeriod hades.Time          // default 10 ticks
+	MaxCycles   uint64              // per configuration; default 10M
+	MaxConfigs  int                 // reconfiguration bound; default 1024
+	// LocalInit seeds non-shared memories/stimuli per configuration id
+	// and operator id (contents typically come from the I/O files).
+	LocalInit map[string]map[string][]int64
+	// Observer, when set, is called with each configuration's live
+	// elaboration before the run starts (probe/VCD attachment hook).
+	Observer func(cfgID string, el *netlist.Elaboration)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Registry == nil {
+		out.Registry = operators.DefaultRegistry()
+	}
+	if out.ClockPeriod <= 0 {
+		out.ClockPeriod = 10
+	}
+	if out.MaxCycles == 0 {
+		out.MaxCycles = 10_000_000
+	}
+	if out.MaxConfigs == 0 {
+		out.MaxConfigs = 1024
+	}
+	return out
+}
+
+// ConfigRun reports one executed configuration.
+type ConfigRun struct {
+	ID         string
+	Cycles     uint64
+	EndTime    hades.Time
+	Completed  bool
+	FinalState string
+	Events     uint64
+	Wall       time.Duration      // host wall-clock time of the simulation
+	Sinks      map[string][]int64 // recorded sink streams by operator id
+}
+
+// ExecResult reports a full RTG execution.
+type ExecResult struct {
+	Runs        []ConfigRun
+	TotalCycles uint64
+	Completed   bool // every configuration reached done
+}
+
+// Controller owns the shared-memory store and walks the RTG.
+type Controller struct {
+	design *xmlspec.Design
+	opts   Options
+	store  map[string][]int64
+}
+
+// NewController validates the design and prepares the shared store
+// (zero-filled; use LoadMemory to seed contents from files).
+func NewController(design *xmlspec.Design, opts Options) (*Controller, error) {
+	o := opts.withDefaults()
+	if err := xmlspec.ValidateDesign(design, o.Registry); err != nil {
+		return nil, err
+	}
+	c := &Controller{design: design, opts: o, store: map[string][]int64{}}
+	for _, m := range design.RTG.Memories {
+		c.store[m.ID] = make([]int64, m.Depth)
+	}
+	return c, nil
+}
+
+// LoadMemory seeds a shared memory's contents before execution.
+func (c *Controller) LoadMemory(id string, words []int64) error {
+	buf, ok := c.store[id]
+	if !ok {
+		return fmt.Errorf("rtg: unknown shared memory %q", id)
+	}
+	for i := range buf {
+		if i < len(words) {
+			buf[i] = words[i]
+		} else {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// Memory returns a copy of a shared memory's current contents.
+func (c *Controller) Memory(id string) ([]int64, error) {
+	buf, ok := c.store[id]
+	if !ok {
+		return nil, fmt.Errorf("rtg: unknown shared memory %q", id)
+	}
+	out := make([]int64, len(buf))
+	copy(out, buf)
+	return out, nil
+}
+
+// MemoryIDs lists the shared memories.
+func (c *Controller) MemoryIDs() []string {
+	out := make([]string, 0, len(c.store))
+	for _, m := range c.design.RTG.Memories {
+		out = append(out, m.ID)
+	}
+	return out
+}
+
+// Execute walks the RTG from its start configuration: each node is
+// elaborated on a fresh simulator (the "reconfiguration"), seeded with
+// the shared store, run until its FSM completes, and its shared memory
+// contents written back to the store.
+func (c *Controller) Execute() (*ExecResult, error) {
+	res := &ExecResult{Completed: true}
+	cur := c.design.RTG.Start
+	for steps := 0; cur != ""; steps++ {
+		if steps >= c.opts.MaxConfigs {
+			return res, fmt.Errorf("rtg: %s: reconfiguration bound %d exceeded (cycle in RTG?)",
+				c.design.RTG.Name, c.opts.MaxConfigs)
+		}
+		cfg, ok := c.design.RTG.FindConfiguration(cur)
+		if !ok {
+			return res, fmt.Errorf("rtg: unknown configuration %q", cur)
+		}
+		run, err := c.runConfiguration(cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Runs = append(res.Runs, *run)
+		res.TotalCycles += run.Cycles
+		if !run.Completed {
+			res.Completed = false
+			return res, nil
+		}
+		cur = c.design.RTG.Successor(cur)
+	}
+	return res, nil
+}
+
+func (c *Controller) runConfiguration(cfg *xmlspec.Configuration) (*ConfigRun, error) {
+	dp := c.design.Datapaths[cfg.Datapath]
+	fsm := c.design.FSMs[cfg.FSM]
+
+	// Seed InitData: shared refs from the store, locals from LocalInit.
+	init := map[string][]int64{}
+	for id, words := range c.opts.LocalInit[cfg.ID] {
+		init[id] = words
+	}
+	for i := range dp.Operators {
+		op := &dp.Operators[i]
+		if op.Ref != "" {
+			words, ok := c.store[op.Ref]
+			if !ok {
+				return nil, fmt.Errorf("rtg: configuration %q: unknown shared memory %q", cfg.ID, op.Ref)
+			}
+			init[op.ID] = words
+		}
+	}
+
+	sim := hades.NewSimulator()
+	clk := sim.NewSignal(cfg.ID+".clk", 1)
+	el, err := netlist.Elaborate(sim, clk, dp, fsm, netlist.Options{
+		Registry: c.opts.Registry,
+		InitData: init,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rtg: configuration %q: %w", cfg.ID, err)
+	}
+	if c.opts.Observer != nil {
+		c.opts.Observer(cfg.ID, el)
+	}
+	start := time.Now()
+	rr, err := el.RunToCompletion(c.opts.ClockPeriod, c.opts.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("rtg: configuration %q: %w", cfg.ID, err)
+	}
+	wall := time.Since(start)
+
+	// Write back shared memories (the fabric is about to be reconfigured;
+	// only the SRAM contents survive).
+	for ref, ram := range el.Shared {
+		copy(c.store[ref], ram.Contents())
+	}
+
+	run := &ConfigRun{
+		ID:         cfg.ID,
+		Cycles:     rr.Cycles,
+		EndTime:    rr.EndTime,
+		Completed:  rr.Completed,
+		FinalState: rr.FinalState,
+		Events:     sim.Stats().Events,
+		Wall:       wall,
+		Sinks:      map[string][]int64{},
+	}
+	for id, sink := range el.Sinks {
+		run.Sinks[id] = sink.Recorded()
+	}
+	return run, nil
+}

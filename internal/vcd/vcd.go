@@ -1,0 +1,249 @@
+// Package vcd parses Value Change Dump files back into waveforms and
+// compares them. Together with hades.VCDWriter this closes the loop on
+// the observability features the paper motivates: waveforms captured
+// from a known-good simulation can be diffed against a later run, making
+// signal activity itself a regression artifact.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Change is one recorded transition.
+type Change struct {
+	At    int64
+	Value uint64
+	Undef bool // the X state
+}
+
+// Waveform is the change history of one variable.
+type Waveform struct {
+	Name    string
+	Width   int
+	Changes []Change
+}
+
+// ValueAt returns the value as of time t and whether it was defined.
+func (w *Waveform) ValueAt(t int64) (uint64, bool) {
+	val, ok := uint64(0), false
+	for _, c := range w.Changes {
+		if c.At > t {
+			break
+		}
+		val, ok = c.Value, !c.Undef
+	}
+	return val, ok
+}
+
+// Dump is a parsed VCD file.
+type Dump struct {
+	Timescale string
+	Scope     string
+	Waves     map[string]*Waveform // by variable name
+	End       int64                // last timestamp seen
+}
+
+// Names returns the variable names in sorted order.
+func (d *Dump) Names() []string {
+	out := make([]string, 0, len(d.Waves))
+	for n := range d.Waves {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse reads a VCD document.
+func Parse(r io.Reader) (*Dump, error) {
+	d := &Dump{Waves: map[string]*Waveform{}}
+	byID := map[string]*Waveform{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	now := int64(0)
+	inDefs := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$timescale"):
+			d.Timescale = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "$timescale"), "$end"))
+		case strings.HasPrefix(line, "$scope"):
+			fields := strings.Fields(line)
+			if len(fields) >= 3 {
+				d.Scope = fields[2]
+			}
+		case strings.HasPrefix(line, "$var"):
+			// $var wire <width> <id> <name> $end
+			fields := strings.Fields(line)
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("vcd: line %d: malformed $var: %q", lineNo, line)
+			}
+			width, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("vcd: line %d: bad width in %q", lineNo, line)
+			}
+			w := &Waveform{Name: fields[4], Width: width}
+			byID[fields[3]] = w
+			d.Waves[w.Name] = w
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$dumpvars"), line == "$end",
+			strings.HasPrefix(line, "$upscope"), strings.HasPrefix(line, "$date"),
+			strings.HasPrefix(line, "$version"), strings.HasPrefix(line, "$comment"):
+			// structural or ignorable
+		case strings.HasPrefix(line, "#"):
+			t, err := strconv.ParseInt(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcd: line %d: bad timestamp %q", lineNo, line)
+			}
+			now = t
+			if t > d.End {
+				d.End = t
+			}
+		default:
+			if inDefs {
+				continue
+			}
+			if err := parseChange(line, byID, now, lineNo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.Waves) == 0 {
+		return nil, fmt.Errorf("vcd: no variables declared")
+	}
+	return d, nil
+}
+
+func parseChange(line string, byID map[string]*Waveform, now int64, lineNo int) error {
+	record := func(w *Waveform, c Change) {
+		// Same-instant updates overwrite (deltas collapse to the final value).
+		if n := len(w.Changes); n > 0 && w.Changes[n-1].At == c.At {
+			w.Changes[n-1] = c
+			return
+		}
+		w.Changes = append(w.Changes, c)
+	}
+	switch line[0] {
+	case '0', '1':
+		w, ok := byID[line[1:]]
+		if !ok {
+			return fmt.Errorf("vcd: line %d: unknown id %q", lineNo, line[1:])
+		}
+		record(w, Change{At: now, Value: uint64(line[0] - '0')})
+		return nil
+	case 'x', 'X':
+		w, ok := byID[line[1:]]
+		if !ok {
+			return fmt.Errorf("vcd: line %d: unknown id %q", lineNo, line[1:])
+		}
+		record(w, Change{At: now, Undef: true})
+		return nil
+	case 'b', 'B':
+		val, id, found := strings.Cut(line[1:], " ")
+		if !found {
+			return fmt.Errorf("vcd: line %d: malformed vector change %q", lineNo, line)
+		}
+		w, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("vcd: line %d: unknown id %q", lineNo, id)
+		}
+		if val == "x" {
+			record(w, Change{At: now, Undef: true})
+			return nil
+		}
+		v, err := strconv.ParseUint(val, 2, 64)
+		if err != nil {
+			return fmt.Errorf("vcd: line %d: bad vector %q", lineNo, val)
+		}
+		record(w, Change{At: now, Value: v})
+		return nil
+	default:
+		return fmt.Errorf("vcd: line %d: unrecognised change %q", lineNo, line)
+	}
+}
+
+// Diff is one divergence between two dumps.
+type Diff struct {
+	Signal string
+	At     int64
+	A, B   string
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s@%d: %s vs %s", d.Signal, d.At, d.A, d.B)
+}
+
+// Compare checks two dumps for equivalent signal activity on their
+// common variables at every timestamp either dump mentions, returning up
+// to max differences (0 = all). Variables present in only one dump are
+// reported as a single Diff at time -1.
+func Compare(a, b *Dump, max int) []Diff {
+	var out []Diff
+	add := func(d Diff) bool {
+		out = append(out, d)
+		return max > 0 && len(out) >= max
+	}
+	for _, name := range a.Names() {
+		if _, ok := b.Waves[name]; !ok {
+			if add(Diff{Signal: name, At: -1, A: "present", B: "missing"}) {
+				return out
+			}
+		}
+	}
+	for _, name := range b.Names() {
+		if _, ok := a.Waves[name]; !ok {
+			if add(Diff{Signal: name, At: -1, A: "missing", B: "present"}) {
+				return out
+			}
+		}
+	}
+	for _, name := range a.Names() {
+		wa := a.Waves[name]
+		wb, ok := b.Waves[name]
+		if !ok {
+			continue
+		}
+		times := map[int64]bool{}
+		for _, c := range wa.Changes {
+			times[c.At] = true
+		}
+		for _, c := range wb.Changes {
+			times[c.At] = true
+		}
+		sorted := make([]int64, 0, len(times))
+		for t := range times {
+			sorted = append(sorted, t)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, t := range sorted {
+			va, oka := wa.ValueAt(t)
+			vb, okb := wb.ValueAt(t)
+			if va != vb || oka != okb {
+				if add(Diff{Signal: name, At: t, A: render(va, oka), B: render(vb, okb)}) {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+func render(v uint64, defined bool) string {
+	if !defined {
+		return "x"
+	}
+	return strconv.FormatUint(v, 10)
+}

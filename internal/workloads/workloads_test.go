@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+func TestDCTCoefficientsSane(t *testing.T) {
+	// DC row: all coefficients equal and positive.
+	c0 := dctCoef(0, 0)
+	for x := 1; x < 8; x++ {
+		if dctCoef(0, x) != c0 {
+			t.Fatalf("DC coefficients differ: %d vs %d", dctCoef(0, x), c0)
+		}
+	}
+	if c0 <= 0 {
+		t.Fatalf("c0=%d", c0)
+	}
+	// Odd rows are antisymmetric: C[u][x] = -C[u][7-x] for odd u.
+	for u := 1; u < 8; u += 2 {
+		for x := 0; x < 8; x++ {
+			if dctCoef(u, x) != -dctCoef(u, 7-x) {
+				t.Fatalf("antisymmetry broken at u=%d x=%d", u, x)
+			}
+		}
+	}
+}
+
+func TestFDCTSourceParsesAndAnalyzes(t *testing.T) {
+	for _, two := range []bool{false, true} {
+		src := FDCTSource(two)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("two=%v: %v", two, err)
+		}
+		info, err := lang.Analyze(prog)
+		if err != nil {
+			t.Fatalf("two=%v: %v", two, err)
+		}
+		want := 1
+		if two {
+			want = 2
+		}
+		if info.Funcs["fdct"].Partitions != want {
+			t.Fatalf("two=%v partitions=%d", two, info.Funcs["fdct"].Partitions)
+		}
+	}
+}
+
+func TestFDCT1AndFDCT2AgreeOnReference(t *testing.T) {
+	// The partition marker must not change functional behaviour.
+	pixels := 128
+	run := func(two bool) []int64 {
+		src, sizes, args, inputs := FDCTCase("x", pixels, two, 7)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := prog.FindFunc("fdct")
+		mems := map[string][]int64{}
+		for name, depth := range sizes {
+			w := make([]int64, depth)
+			copy(w, inputs[name])
+			mems[name] = w
+		}
+		if _, err := interp.Run(f, mems, args, interp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return mems["out"]
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("out[%d]: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFDCTDCEnergy(t *testing.T) {
+	// A constant block transforms to a single DC value and zero ACs.
+	src := FDCTSource(false)
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := prog.FindFunc("fdct")
+	img := make([]int64, 64)
+	for i := range img {
+		img[i] = 100
+	}
+	mems := map[string][]int64{"img": img, "tmp": make([]int64, 64), "out": make([]int64, 64)}
+	if _, err := interp.Run(f, mems, map[string]int64{"nblocks": 1}, interp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := mems["out"]
+	if out[0] <= 0 {
+		t.Fatalf("DC=%d must be positive", out[0])
+	}
+	for i := 1; i < 64; i++ {
+		if out[i] < -8 || out[i] > 8 { // rounding noise only
+			t.Fatalf("AC[%d]=%d not near zero: %v", i, out[i], out[:16])
+		}
+	}
+}
+
+func TestGenImageDeterministicAnd8Bit(t *testing.T) {
+	a := GenImage(256, 3)
+	b := GenImage(256, 3)
+	c := GenImage(256, 4)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] < 0 || a[i] > 255 {
+			t.Fatalf("pixel %d out of range", a[i])
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestHammingEncodeDecodeProperty(t *testing.T) {
+	prog, err := lang.Parse(HammingSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := prog.FindFunc("hamming")
+	// Property: for any nibble and any single-bit error position, the
+	// decoder recovers the nibble.
+	prop := func(nib uint8, bitPos uint8) bool {
+		n := int64(nib & 0xF)
+		cw := HammingEncode(n)
+		cw ^= 1 << uint(bitPos%7)
+		in := []int64{cw}
+		out := []int64{0}
+		if _, err := interp.Run(f, map[string][]int64{"in": in, "out": out},
+			map[string]int64{"n": 1}, interp.Options{}); err != nil {
+			return false
+		}
+		return out[0] == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingNoErrorPassThrough(t *testing.T) {
+	prog, _ := lang.Parse(HammingSource)
+	f, _ := prog.FindFunc("hamming")
+	for nib := int64(0); nib < 16; nib++ {
+		in := []int64{HammingEncode(nib)}
+		out := []int64{-1}
+		if _, err := interp.Run(f, map[string][]int64{"in": in, "out": out},
+			map[string]int64{"n": 1}, interp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != nib {
+			t.Fatalf("nib=%d decoded=%d", nib, out[0])
+		}
+	}
+}
+
+func TestGenCodewordsExpectations(t *testing.T) {
+	codewords, expected := GenCodewords(30, 11)
+	prog, _ := lang.Parse(HammingSource)
+	f, _ := prog.FindFunc("hamming")
+	out := make([]int64, 30)
+	if _, err := interp.Run(f, map[string][]int64{"in": codewords, "out": out},
+		map[string]int64{"n": 30}, interp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range expected {
+		if out[i] != expected[i] {
+			t.Fatalf("word %d: decoded %d want %d", i, out[i], expected[i])
+		}
+	}
+}
+
+func TestFDCTCaseShapes(t *testing.T) {
+	src, sizes, args, inputs := FDCTCase("t", 130, false, 1)
+	if args["nblocks"] != 2 {
+		t.Fatalf("nblocks=%d", args["nblocks"])
+	}
+	if sizes["img"] != 128 || len(inputs["img"]) != 128 {
+		t.Fatalf("sizes=%v", sizes)
+	}
+	if !strings.Contains(src, "void fdct") {
+		t.Fatal("source mangled")
+	}
+}

@@ -1,0 +1,92 @@
+// Package xmlspec defines the three XML dialects the compiler emits and
+// the test infrastructure consumes: datapath.xml (structural netlist of
+// operators), fsm.xml (behavioural control unit) and rtg.xml
+// (Reconfiguration Transition Graph across temporal partitions). The
+// dialects carry the same information content as the paper's; element and
+// attribute names are ours.
+package xmlspec
+
+import "encoding/xml"
+
+// Datapath is the structural description of one configuration's
+// datapath: operator instances, point-to-point connections, and the
+// control/status interface to the control unit. Clock distribution is
+// implicit: elaboration wires every clocked operator to the global clock.
+type Datapath struct {
+	XMLName     xml.Name     `xml:"datapath"`
+	Name        string       `xml:"name,attr"`
+	Width       int          `xml:"width,attr,omitempty"` // default word width
+	Operators   []Operator   `xml:"operators>operator"`
+	Connections []Connection `xml:"connections>connect"`
+	Controls    []Control    `xml:"controls>control"`
+	Statuses    []Status     `xml:"statuses>status"`
+}
+
+// Operator is one functional-unit instance.
+type Operator struct {
+	ID     string `xml:"id,attr"`
+	Type   string `xml:"type,attr"`
+	Width  int    `xml:"width,attr,omitempty"`
+	Value  int64  `xml:"value,attr,omitempty"`  // const / reg reset value
+	Depth  int    `xml:"depth,attr,omitempty"`  // ram/rom depth in words
+	Inputs int    `xml:"inputs,attr,omitempty"` // mux fan-in
+	Ref    string `xml:"ref,attr,omitempty"`    // RTG shared-memory id
+	File   string `xml:"file,attr,omitempty"`   // memory/stimulus contents file
+}
+
+// Connection wires a driver endpoint to a sink endpoint; endpoints are
+// "instance.port".
+type Connection struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+}
+
+// Control is a control line from the FSM into the datapath; one line may
+// fan out to several operator ports.
+type Control struct {
+	Name    string      `xml:"name,attr"`
+	Width   int         `xml:"width,attr,omitempty"` // default 1
+	Targets []ControlTo `xml:"to"`
+}
+
+// ControlTo is one fan-out target of a control line.
+type ControlTo struct {
+	Port string `xml:"port,attr"` // "instance.port"
+}
+
+// Status is a status line from the datapath into the FSM.
+type Status struct {
+	Name  string `xml:"name,attr"`
+	Width int    `xml:"width,attr,omitempty"` // default 1
+	From  string `xml:"from,attr"`            // "instance.port"
+}
+
+// OperatorCount returns the number of functional units, the "operators"
+// column of the paper's Table I.
+func (d *Datapath) OperatorCount() int { return len(d.Operators) }
+
+// FindOperator returns the operator with the given id, if present.
+func (d *Datapath) FindOperator(id string) (*Operator, bool) {
+	for i := range d.Operators {
+		if d.Operators[i].ID == id {
+			return &d.Operators[i], true
+		}
+	}
+	return nil, false
+}
+
+// ControlWidth returns the declared width of a control line (default 1).
+func (c *Control) ControlWidth() int {
+	if c.Width <= 0 {
+		return 1
+	}
+	return c.Width
+}
+
+// StatusWidth returns the declared width of a status line (default 1).
+func (s *Status) StatusWidth() int {
+	if s.Width <= 0 {
+		return 1
+	}
+	return s.Width
+}

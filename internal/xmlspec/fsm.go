@@ -1,0 +1,76 @@
+package xmlspec
+
+import "encoding/xml"
+
+// FSM is the behavioural description of a configuration's control unit:
+// a Moore machine whose state assigns values to control lines and whose
+// transitions are guarded by boolean expressions over status lines.
+type FSM struct {
+	XMLName xml.Name    `xml:"fsm"`
+	Name    string      `xml:"name,attr"`
+	Inputs  []FSMSignal `xml:"inputs>signal"`
+	Outputs []FSMSignal `xml:"outputs>signal"`
+	States  []State     `xml:"states>state"`
+}
+
+// FSMSignal declares one status input or control output of the FSM.
+type FSMSignal struct {
+	Name  string `xml:"name,attr"`
+	Width int    `xml:"width,attr,omitempty"` // default 1
+}
+
+// SignalWidth returns the declared width (default 1).
+func (s *FSMSignal) SignalWidth() int {
+	if s.Width <= 0 {
+		return 1
+	}
+	return s.Width
+}
+
+// State is one FSM state. Unassigned outputs default to 0 in every state,
+// so the XML lists only the active control values (Moore outputs).
+type State struct {
+	Name        string       `xml:"name,attr"`
+	Initial     bool         `xml:"initial,attr,omitempty"`
+	Final       bool         `xml:"final,attr,omitempty"`
+	Assigns     []Assign     `xml:"assign"`
+	Transitions []Transition `xml:"transition"`
+}
+
+// Assign sets a control output to a constant value while in the state.
+type Assign struct {
+	Signal string `xml:"signal,attr"`
+	Value  int64  `xml:"value,attr"`
+}
+
+// Transition is a guarded next-state edge. An empty Cond is the default
+// (always-taken) edge; guards are boolean expressions over status inputs
+// using !, &, |, parentheses and the literals 0/1.
+type Transition struct {
+	Cond string `xml:"cond,attr,omitempty"`
+	Next string `xml:"next,attr"`
+}
+
+// InitialState returns the state marked initial (validation guarantees
+// exactly one).
+func (f *FSM) InitialState() (*State, bool) {
+	for i := range f.States {
+		if f.States[i].Initial {
+			return &f.States[i], true
+		}
+	}
+	return nil, false
+}
+
+// FindState returns the named state, if present.
+func (f *FSM) FindState(name string) (*State, bool) {
+	for i := range f.States {
+		if f.States[i].Name == name {
+			return &f.States[i], true
+		}
+	}
+	return nil, false
+}
+
+// StateCount returns the number of states.
+func (f *FSM) StateCount() int { return len(f.States) }

@@ -1,0 +1,82 @@
+package xmlspec
+
+import "encoding/xml"
+
+// RTG is the Reconfiguration Transition Graph: the flow of configurations
+// (temporal partitions) a multi-configuration implementation executes, and
+// the memories shared between them. Designs with a single configuration
+// use an RTG with one node.
+type RTG struct {
+	XMLName        xml.Name        `xml:"rtg"`
+	Name           string          `xml:"name,attr"`
+	Start          string          `xml:"start,attr"`
+	Memories       []SharedMemory  `xml:"memories>memory"`
+	Configurations []Configuration `xml:"configurations>configuration"`
+	Transitions    []RTGTransition `xml:"transitions>transition"`
+}
+
+// SharedMemory is a memory that outlives reconfigurations; datapath
+// operators of type "ram" bind to it via their Ref attribute. File names
+// the initial/expected contents file of the verification flow.
+type SharedMemory struct {
+	ID    string `xml:"id,attr"`
+	Width int    `xml:"width,attr,omitempty"` // default 32
+	Depth int    `xml:"depth,attr"`
+	File  string `xml:"file,attr,omitempty"`
+}
+
+// MemWidth returns the declared width (default 32).
+func (m *SharedMemory) MemWidth() int {
+	if m.Width <= 0 {
+		return 32
+	}
+	return m.Width
+}
+
+// Configuration is one temporal partition: a datapath plus its control
+// unit, referenced by name (resolved against the design bundle or against
+// sibling files ending in .xml).
+type Configuration struct {
+	ID       string `xml:"id,attr"`
+	Datapath string `xml:"datapath,attr"`
+	FSM      string `xml:"fsm,attr"`
+}
+
+// RTGTransition sequences configurations; On names the triggering event
+// ("done" — the source configuration's FSM reached a final state).
+type RTGTransition struct {
+	From string `xml:"from,attr"`
+	To   string `xml:"to,attr"`
+	On   string `xml:"on,attr,omitempty"`
+}
+
+// FindConfiguration returns the configuration with the given id.
+func (r *RTG) FindConfiguration(id string) (*Configuration, bool) {
+	for i := range r.Configurations {
+		if r.Configurations[i].ID == id {
+			return &r.Configurations[i], true
+		}
+	}
+	return nil, false
+}
+
+// Successor returns the configuration following `from` (empty string when
+// the RTG terminates there).
+func (r *RTG) Successor(from string) string {
+	for _, t := range r.Transitions {
+		if t.From == from {
+			return t.To
+		}
+	}
+	return ""
+}
+
+// FindMemory returns the shared memory with the given id.
+func (r *RTG) FindMemory(id string) (*SharedMemory, bool) {
+	for i := range r.Memories {
+		if r.Memories[i].ID == id {
+			return &r.Memories[i], true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,113 @@
+// Package xsl implements the transformation layer of the infrastructure:
+// a generic XML document model and a rule/template engine in the spirit
+// of the XSLT stylesheets the paper uses to translate the compiler's XML
+// dialects into simulator input, behavioural Java and Graphviz dot ("This
+// permits users to define their own XSL translation rules to output
+// representations using the chosen language").
+//
+// Rules match element names; templates interpolate attributes, apply
+// child templates and test attributes, and may drop to a Go render
+// function — the counterpart of an XSLT extension function — for
+// transformations that need real logic.
+package xsl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Node is one element of a parsed XML document.
+type Node struct {
+	Name      string
+	Attrs     map[string]string
+	AttrOrder []string
+	Children  []*Node
+	Text      string
+	Parent    *Node
+}
+
+// Parse builds a DOM from an XML document.
+func Parse(data []byte) (*Node, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	var root *Node
+	var cur *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xsl: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local, Attrs: map[string]string{}, Parent: cur}
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+				n.AttrOrder = append(n.AttrOrder, a.Name.Local)
+			}
+			if cur != nil {
+				cur.Children = append(cur.Children, n)
+			} else if root == nil {
+				root = n
+			} else {
+				return nil, fmt.Errorf("xsl: parse: multiple roots")
+			}
+			cur = n
+		case xml.EndElement:
+			if cur == nil {
+				return nil, fmt.Errorf("xsl: parse: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			if cur != nil {
+				cur.Text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xsl: parse: empty document")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("xsl: parse: unterminated element %s", cur.Name)
+	}
+	return root, nil
+}
+
+// Attr returns an attribute value ("" when absent).
+func (n *Node) Attr(name string) string { return n.Attrs[name] }
+
+// Find returns descendants matching a slash path of element names
+// relative to n ("operators/operator"). A single name matches direct
+// children; "*" matches any name at that level.
+func (n *Node) Find(path string) []*Node {
+	parts := strings.Split(path, "/")
+	cur := []*Node{n}
+	for _, p := range parts {
+		var next []*Node
+		for _, c := range cur {
+			for _, ch := range c.Children {
+				if p == "*" || ch.Name == p {
+					next = append(next, ch)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// First returns the first match of Find, or nil.
+func (n *Node) First(path string) *Node {
+	all := n.Find(path)
+	if len(all) == 0 {
+		return nil
+	}
+	return all[0]
+}
+
+// TrimText returns the element text with surrounding whitespace removed.
+func (n *Node) TrimText() string { return strings.TrimSpace(n.Text) }

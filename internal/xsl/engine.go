@@ -1,0 +1,164 @@
+package xsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rule maps an element name to a template or a render function. Exactly
+// one of Template/Render must be set.
+type Rule struct {
+	Match    string // element name, or "*" as catch-all
+	Template string
+	Render   func(e *Engine, n *Node) (string, error)
+}
+
+// Stylesheet is an ordered rule set; the first matching rule wins.
+// Elements with no matching rule apply the default rule: emit nothing
+// for the element, recurse into its children.
+type Stylesheet struct {
+	Name  string
+	Rules []Rule
+}
+
+// Engine executes a stylesheet over a document.
+type Engine struct {
+	sheet *Stylesheet
+	depth int
+}
+
+// MaxDepth bounds template recursion to catch rule cycles.
+const MaxDepth = 200
+
+// Transform runs the stylesheet on a parsed document.
+func Transform(sheet *Stylesheet, root *Node) (string, error) {
+	e := &Engine{sheet: sheet}
+	return e.Apply(root)
+}
+
+// TransformBytes parses and transforms an XML document.
+func TransformBytes(sheet *Stylesheet, doc []byte) (string, error) {
+	root, err := Parse(doc)
+	if err != nil {
+		return "", err
+	}
+	return Transform(sheet, root)
+}
+
+// Apply renders one node through the first matching rule (or the default
+// recurse-rule).
+func (e *Engine) Apply(n *Node) (string, error) {
+	e.depth++
+	defer func() { e.depth-- }()
+	if e.depth > MaxDepth {
+		return "", fmt.Errorf("xsl: %s: template recursion exceeds %d (rule cycle?)", e.sheet.Name, MaxDepth)
+	}
+	for i := range e.sheet.Rules {
+		r := &e.sheet.Rules[i]
+		if r.Match != n.Name && r.Match != "*" {
+			continue
+		}
+		if r.Render != nil {
+			return r.Render(e, n)
+		}
+		tpl, err := compileTemplate(r.Template)
+		if err != nil {
+			return "", fmt.Errorf("xsl: %s: rule %q: %w", e.sheet.Name, r.Match, err)
+		}
+		return e.exec(tpl, n)
+	}
+	// Default rule: descend.
+	var b strings.Builder
+	for _, c := range n.Children {
+		s, err := e.Apply(c)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+// ApplyAll renders a node list and concatenates the results.
+func (e *Engine) ApplyAll(ns []*Node) (string, error) {
+	var b strings.Builder
+	for _, n := range ns {
+		s, err := e.Apply(n)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+func (e *Engine) exec(nodes []tnode, n *Node) (string, error) {
+	var b strings.Builder
+	for _, t := range nodes {
+		switch tn := t.(type) {
+		case tnText:
+			b.WriteString(string(tn))
+		case tnAttr:
+			v := n.Attr(tn.name)
+			if v == "" {
+				v = tn.def
+			}
+			b.WriteString(v)
+		case tnName:
+			b.WriteString(n.Name)
+		case tnBody:
+			b.WriteString(n.TrimText())
+		case tnPos:
+			b.WriteString(strconv.Itoa(position(n)))
+		case tnApply:
+			var targets []*Node
+			if tn.path == "" {
+				targets = n.Children
+			} else {
+				targets = n.Find(tn.path)
+			}
+			s, err := e.ApplyAll(targets)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		case tnCount:
+			b.WriteString(strconv.Itoa(len(n.Find(tn.path))))
+		case tnIf:
+			branch := tn.els
+			if truthy(n.Attr(tn.attr)) {
+				branch = tn.then
+			}
+			s, err := e.exec(branch, n)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(s)
+		default:
+			return "", fmt.Errorf("xsl: unknown template node %T", t)
+		}
+	}
+	return b.String(), nil
+}
+
+// position returns the node's 0-based index among same-named siblings.
+func position(n *Node) int {
+	if n.Parent == nil {
+		return 0
+	}
+	idx := 0
+	for _, sib := range n.Parent.Children {
+		if sib == n {
+			return idx
+		}
+		if sib.Name == n.Name {
+			idx++
+		}
+	}
+	return 0
+}
+
+func truthy(v string) bool {
+	return v != "" && v != "0" && v != "false"
+}

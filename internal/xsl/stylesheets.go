@@ -1,0 +1,314 @@
+package xsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Built-in stylesheets for every arrow of the paper's Figure 1:
+// datapath/fsm/rtg → dot (Graphviz), datapath → hds (simulator input
+// text), fsm/rtg → java (behavioural source). Users compose their own
+// Stylesheet values for other targets, as the paper's users write XSL
+// rules for Verilog/VHDL/SystemC.
+
+// splitEndpoint separates "inst.port".
+func splitEndpoint(ep string) (inst, port string) {
+	if i := strings.LastIndex(ep, "."); i > 0 {
+		return ep[:i], ep[i+1:]
+	}
+	return ep, ""
+}
+
+// DatapathToDot renders a datapath netlist as a directed graph: operators
+// as boxes, connections as port-labelled edges, control/status lines as
+// dashed edges from/to the control unit.
+func DatapathToDot() *Stylesheet {
+	return &Stylesheet{
+		Name: "datapath-to-dot",
+		Rules: []Rule{
+			{Match: "datapath", Template: "digraph \"{@name}\" {{\n" +
+				"  rankdir=LR;\n  node [shape=box, fontsize=10];\n" +
+				"  \"__fsm__\" [label=\"control unit\", shape=ellipse];\n" +
+				"{apply:operators/operator}{apply:connections/connect}{apply:controls/control}{apply:statuses/status}}\n"},
+			{Match: "operator", Template: "  \"{@id}\" [label=\"{@id}\\n{@type}{if:@value} {@value}{end}\"];\n"},
+			{Match: "connect", Render: func(e *Engine, n *Node) (string, error) {
+				fi, fp := splitEndpoint(n.Attr("from"))
+				ti, tp := splitEndpoint(n.Attr("to"))
+				return fmt.Sprintf("  %q -> %q [taillabel=%q, headlabel=%q, fontsize=8];\n", fi, ti, fp, tp), nil
+			}},
+			{Match: "control", Render: func(e *Engine, n *Node) (string, error) {
+				var b strings.Builder
+				for _, to := range n.Find("to") {
+					ti, tp := splitEndpoint(to.Attr("port"))
+					fmt.Fprintf(&b, "  \"__fsm__\" -> %q [style=dashed, label=%q, fontsize=8, headlabel=%q];\n",
+						ti, n.Attr("name"), tp)
+				}
+				return b.String(), nil
+			}},
+			{Match: "status", Render: func(e *Engine, n *Node) (string, error) {
+				fi, fp := splitEndpoint(n.Attr("from"))
+				return fmt.Sprintf("  %q -> \"__fsm__\" [style=dashed, label=%q, fontsize=8, taillabel=%q];\n",
+					fi, n.Attr("name"), fp), nil
+			}},
+		},
+	}
+}
+
+// FSMToDot renders a control unit as a state diagram.
+func FSMToDot() *Stylesheet {
+	return &Stylesheet{
+		Name: "fsm-to-dot",
+		Rules: []Rule{
+			{Match: "fsm", Template: "digraph \"{@name}\" {{\n  node [shape=circle, fontsize=10];\n{apply:states/state}}\n"},
+			{Match: "state", Template: "  \"{@name}\"{if:@final} [shape=doublecircle]{end}{if:@initial} [style=bold]{end};\n{apply}"},
+			{Match: "transition", Render: func(e *Engine, n *Node) (string, error) {
+				label := n.Attr("cond")
+				if label == "" {
+					label = "1"
+				}
+				return fmt.Sprintf("  %q -> %q [label=%q, fontsize=8];\n",
+					n.Parent.Attr("name"), n.Attr("next"), label), nil
+			}},
+			{Match: "assign", Template: ""},
+		},
+	}
+}
+
+// RTGToDot renders the reconfiguration transition graph.
+func RTGToDot() *Stylesheet {
+	return &Stylesheet{
+		Name: "rtg-to-dot",
+		Rules: []Rule{
+			{Match: "rtg", Template: "digraph \"{@name}\" {{\n  node [shape=box, style=rounded, fontsize=10];\n" +
+				"{apply:configurations/configuration}{apply:memories/memory}{apply:transitions/transition}}\n"},
+			{Match: "configuration", Template: "  \"{@id}\" [label=\"{@id}\\n{@datapath} / {@fsm}\"];\n"},
+			{Match: "memory", Template: "  \"{@id}\" [shape=cylinder, label=\"{@id}[{@depth}]\"];\n"},
+			{Match: "transition", Template: "  \"{@from}\" -> \"{@to}\" [label=\"{@on|seq}\"];\n"},
+		},
+	}
+}
+
+// javaGuard rewrites an FSM guard expression into Java syntax: & becomes
+// &&, | becomes ||, standalone 0/1 become false/true; identifiers pass
+// through untouched.
+func javaGuard(cond string) string {
+	if strings.TrimSpace(cond) == "" {
+		return "true"
+	}
+	var b strings.Builder
+	for i := 0; i < len(cond); i++ {
+		c := cond[i]
+		switch {
+		case c == '&':
+			b.WriteString("&&")
+		case c == '|':
+			b.WriteString("||")
+		case c == '1' && !partOfIdent(cond, i):
+			b.WriteString("true")
+		case c == '0' && !partOfIdent(cond, i):
+			b.WriteString("false")
+		default:
+			if isIdentByte(c) {
+				j := i
+				for j < len(cond) && isIdentByte(cond[j]) {
+					j++
+				}
+				b.WriteString(cond[i:j])
+				i = j - 1
+				continue
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+		('0' <= c && c <= '9')
+}
+
+// partOfIdent reports whether the byte at i continues an identifier (the
+// previous byte is an identifier byte).
+func partOfIdent(s string, i int) bool {
+	return i > 0 && isIdentByte(s[i-1])
+}
+
+// FSMToJava emits a behavioural Java class for the control unit — the
+// fsm.java of the paper's flow. The class is self-contained: status
+// inputs and control outputs are public fields, step() advances one
+// clock cycle.
+func FSMToJava() *Stylesheet {
+	return &Stylesheet{
+		Name: "fsm-to-java",
+		Rules: []Rule{
+			{Match: "fsm", Render: func(e *Engine, n *Node) (string, error) {
+				var b strings.Builder
+				name := n.Attr("name")
+				fmt.Fprintf(&b, "// Generated by the test infrastructure (fsm-to-java).\n")
+				fmt.Fprintf(&b, "public class %s {\n", sanitizeJava(name))
+				states := n.Find("states/state")
+				for i, st := range states {
+					fmt.Fprintf(&b, "    public static final int %s = %d;\n", stateConst(st.Attr("name")), i)
+				}
+				b.WriteString("\n    // Status inputs (driven by the datapath).\n")
+				for _, in := range n.Find("inputs/signal") {
+					fmt.Fprintf(&b, "    public boolean %s;\n", sanitizeJava(in.Attr("name")))
+				}
+				b.WriteString("\n    // Control outputs (drive the datapath).\n")
+				for _, out := range n.Find("outputs/signal") {
+					fmt.Fprintf(&b, "    public int %s;\n", sanitizeJava(out.Attr("name")))
+				}
+				initial := "0"
+				for _, st := range states {
+					if truthy(st.Attr("initial")) {
+						initial = stateConst(st.Attr("name"))
+					}
+				}
+				fmt.Fprintf(&b, "\n    public int state = %s;\n", initial)
+				b.WriteString("\n    public boolean inFinal() {\n        switch (state) {\n")
+				for _, st := range states {
+					if truthy(st.Attr("final")) {
+						fmt.Fprintf(&b, "        case %s:\n", stateConst(st.Attr("name")))
+					}
+				}
+				b.WriteString("            return true;\n        default:\n            return false;\n        }\n    }\n")
+				b.WriteString("\n    // Advance one clock cycle: transition, then drive Moore outputs.\n")
+				b.WriteString("    public void step() {\n        switch (state) {\n")
+				for _, st := range states {
+					fmt.Fprintf(&b, "        case %s:\n", stateConst(st.Attr("name")))
+					for _, tr := range st.Find("transition") {
+						guard := javaGuard(tr.Attr("cond"))
+						if guard == "true" {
+							fmt.Fprintf(&b, "            state = %s;\n", stateConst(tr.Attr("next")))
+							break
+						}
+						fmt.Fprintf(&b, "            if (%s) { state = %s; break; }\n",
+							guard, stateConst(tr.Attr("next")))
+					}
+					b.WriteString("            break;\n")
+				}
+				b.WriteString("        }\n        outputs();\n    }\n")
+				b.WriteString("\n    private void outputs() {\n")
+				for _, out := range n.Find("outputs/signal") {
+					fmt.Fprintf(&b, "        %s = 0;\n", sanitizeJava(out.Attr("name")))
+				}
+				b.WriteString("        switch (state) {\n")
+				for _, st := range states {
+					if len(st.Find("assign")) == 0 {
+						continue
+					}
+					fmt.Fprintf(&b, "        case %s:\n", stateConst(st.Attr("name")))
+					for _, a := range st.Find("assign") {
+						fmt.Fprintf(&b, "            %s = %s;\n", sanitizeJava(a.Attr("signal")), a.Attr("value"))
+					}
+					b.WriteString("            break;\n")
+				}
+				b.WriteString("        }\n    }\n}\n")
+				return b.String(), nil
+			}},
+		},
+	}
+}
+
+// RTGToJava emits the rtg.java runner controlling the execution of the
+// simulation through the set of temporal partitions.
+func RTGToJava() *Stylesheet {
+	return &Stylesheet{
+		Name: "rtg-to-java",
+		Rules: []Rule{
+			{Match: "rtg", Render: func(e *Engine, n *Node) (string, error) {
+				var b strings.Builder
+				fmt.Fprintf(&b, "// Generated by the test infrastructure (rtg-to-java).\n")
+				fmt.Fprintf(&b, "public class %s_rtg {\n", sanitizeJava(n.Attr("name")))
+				b.WriteString("    // Shared memories surviving reconfiguration.\n")
+				for _, m := range n.Find("memories/memory") {
+					fmt.Fprintf(&b, "    public final int[] %s = new int[%s];\n",
+						sanitizeJava(m.Attr("id")), m.Attr("depth"))
+				}
+				b.WriteString("\n    public void run() {\n")
+				fmt.Fprintf(&b, "        String cfg = \"%s\";\n", n.Attr("start"))
+				b.WriteString("        while (cfg != null) {\n            switch (cfg) {\n")
+				for _, c := range n.Find("configurations/configuration") {
+					fmt.Fprintf(&b, "            case \"%s\":\n", c.Attr("id"))
+					fmt.Fprintf(&b, "                runConfiguration(\"%s\", \"%s\"); // datapath, fsm\n",
+						c.Attr("datapath"), c.Attr("fsm"))
+					next := "null"
+					for _, t := range n.Find("transitions/transition") {
+						if t.Attr("from") == c.Attr("id") {
+							next = fmt.Sprintf("%q", t.Attr("to"))
+						}
+					}
+					fmt.Fprintf(&b, "                cfg = %s;\n                break;\n", next)
+				}
+				b.WriteString("            }\n        }\n    }\n")
+				b.WriteString("\n    private void runConfiguration(String datapath, String fsm) {\n")
+				b.WriteString("        // Reconfigure the fabric and simulate until the FSM finishes.\n    }\n}\n")
+				return b.String(), nil
+			}},
+		},
+	}
+}
+
+// DatapathToHDS emits the simulator input text (the paper's "to hds"
+// arrow): a component per operator and a net per connection, plus the
+// control/status interface, in the line-oriented format the Hades design
+// loader uses.
+func DatapathToHDS() *Stylesheet {
+	return &Stylesheet{
+		Name: "datapath-to-hds",
+		Rules: []Rule{
+			{Match: "datapath", Template: "[design] {@name}\n[width] {@width|32}\n[components]\n{apply:operators/operator}" +
+				"[nets]\n{apply:connections/connect}[controls]\n{apply:controls/control}[statuses]\n{apply:statuses/status}[end]\n"},
+			{Match: "operator", Template: "component {@id} {@type} width={@width|0} value={@value|0} depth={@depth|0} inputs={@inputs|0} ref={@ref|-}\n"},
+			{Match: "connect", Template: "net {@from} -> {@to}\n"},
+			{Match: "control", Render: func(e *Engine, n *Node) (string, error) {
+				var b strings.Builder
+				for _, to := range n.Find("to") {
+					fmt.Fprintf(&b, "control %s width=%s -> %s\n",
+						n.Attr("name"), orDefault(n.Attr("width"), "1"), to.Attr("port"))
+				}
+				return b.String(), nil
+			}},
+			{Match: "status", Template: "status {@name} width={@width|1} <- {@from}\n"},
+		},
+	}
+}
+
+// ForDocument picks the to-dot stylesheet matching a document root.
+func ForDocument(root *Node) (*Stylesheet, error) {
+	switch root.Name {
+	case "datapath":
+		return DatapathToDot(), nil
+	case "fsm":
+		return FSMToDot(), nil
+	case "rtg":
+		return RTGToDot(), nil
+	default:
+		return nil, fmt.Errorf("xsl: no stylesheet for root element %q", root.Name)
+	}
+}
+
+func sanitizeJava(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '-' || c == '.' || c == ' ' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+func stateConst(name string) string { return "ST_" + sanitizeJava(name) }
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,164 @@
+package xsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Template node kinds. Template syntax inside {...}:
+//
+//	{@attr}        attribute value
+//	{@attr|def}    attribute value with default
+//	{name()}       element name
+//	{text()}       trimmed text content
+//	{pos()}        0-based index among same-named siblings
+//	{apply}        apply templates to all children
+//	{apply:path}   apply templates to nodes matching a Find path
+//	{count:path}   number of nodes matching a Find path
+//	{if:@attr}...{else}...{end}   attribute truth test (else optional)
+//	{{ and }}      literal braces
+type tnode interface{ tmpl() }
+
+type tnText string
+
+type tnAttr struct{ name, def string }
+
+type tnName struct{}
+
+type tnBody struct{}
+
+type tnPos struct{}
+
+type tnApply struct{ path string }
+
+type tnCount struct{ path string }
+
+type tnIf struct {
+	attr string
+	then []tnode
+	els  []tnode
+}
+
+func (tnText) tmpl()  {}
+func (tnAttr) tmpl()  {}
+func (tnName) tmpl()  {}
+func (tnBody) tmpl()  {}
+func (tnPos) tmpl()   {}
+func (tnApply) tmpl() {}
+func (tnCount) tmpl() {}
+func (tnIf) tmpl()    {}
+
+// compileTemplate parses a template string.
+func compileTemplate(src string) ([]tnode, error) {
+	nodes, rest, err := parseUntil(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rest != "" {
+		return nil, fmt.Errorf("template: unexpected %q", rest)
+	}
+	return nodes, nil
+}
+
+// parseUntil consumes template source until one of the stop directives
+// ({else} or {end}) is found at this nesting level; it returns the
+// remaining source starting at the stop directive.
+func parseUntil(src string, stops []string) ([]tnode, string, error) {
+	var out []tnode
+	for len(src) > 0 {
+		i := strings.IndexAny(src, "{}")
+		if i < 0 {
+			out = append(out, tnText(src))
+			return out, "", nil
+		}
+		if i > 0 {
+			out = append(out, tnText(src[:i]))
+			src = src[i:]
+		}
+		if strings.HasPrefix(src, "{{") {
+			out = append(out, tnText("{"))
+			src = src[2:]
+			continue
+		}
+		if strings.HasPrefix(src, "}}") {
+			out = append(out, tnText("}"))
+			src = src[2:]
+			continue
+		}
+		if src[0] == '}' { // lone closing brace: ordinary text
+			out = append(out, tnText("}"))
+			src = src[1:]
+			continue
+		}
+		j := strings.IndexByte(src, '}')
+		if j < 0 {
+			return nil, "", fmt.Errorf("template: unterminated directive %q", src)
+		}
+		dir := src[1:j]
+		if dir == "}" { // "{}}" never valid; guard
+			return nil, "", fmt.Errorf("template: empty directive")
+		}
+		for _, stop := range stops {
+			if dir == stop {
+				return out, src, nil
+			}
+		}
+		src = src[j+1:]
+		node, err := parseDirective(dir, &src)
+		if err != nil {
+			return nil, "", err
+		}
+		out = append(out, node)
+	}
+	if len(stops) > 0 {
+		return nil, "", fmt.Errorf("template: missing {%s}", stops[len(stops)-1])
+	}
+	return out, "", nil
+}
+
+func parseDirective(dir string, rest *string) (tnode, error) {
+	switch {
+	case dir == "":
+		return nil, fmt.Errorf("template: empty directive")
+	case strings.HasPrefix(dir, "@"):
+		spec := dir[1:]
+		if k := strings.IndexByte(spec, '|'); k >= 0 {
+			return tnAttr{name: spec[:k], def: spec[k+1:]}, nil
+		}
+		return tnAttr{name: spec}, nil
+	case dir == "name()":
+		return tnName{}, nil
+	case dir == "text()":
+		return tnBody{}, nil
+	case dir == "pos()":
+		return tnPos{}, nil
+	case dir == "apply":
+		return tnApply{}, nil
+	case strings.HasPrefix(dir, "apply:"):
+		return tnApply{path: dir[len("apply:"):]}, nil
+	case strings.HasPrefix(dir, "count:"):
+		return tnCount{path: dir[len("count:"):]}, nil
+	case strings.HasPrefix(dir, "if:@"):
+		attr := dir[len("if:@"):]
+		then, stopped, err := parseUntil(*rest, []string{"else", "end"})
+		if err != nil {
+			return nil, err
+		}
+		node := tnIf{attr: attr, then: then}
+		if strings.HasPrefix(stopped, "{else}") {
+			els, stopped2, err := parseUntil(stopped[len("{else}"):], []string{"end"})
+			if err != nil {
+				return nil, err
+			}
+			node.els = els
+			stopped = stopped2
+		}
+		if !strings.HasPrefix(stopped, "{end}") {
+			return nil, fmt.Errorf("template: {if:@%s} missing {end}", attr)
+		}
+		*rest = stopped[len("{end}"):]
+		return node, nil
+	default:
+		return nil, fmt.Errorf("template: unknown directive {%s}", dir)
+	}
+}

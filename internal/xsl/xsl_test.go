@@ -1,0 +1,287 @@
+package xsl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/lang"
+	"repro/internal/xmlspec"
+)
+
+const sampleXML = `<top name="t">
+  <items>
+    <item id="a" kind="x"/>
+    <item id="b"/>
+  </items>
+  <note>  hello </note>
+</top>`
+
+func TestParseDOM(t *testing.T) {
+	root, err := Parse([]byte(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != "top" || root.Attr("name") != "t" {
+		t.Fatalf("root=%+v", root)
+	}
+	items := root.Find("items/item")
+	if len(items) != 2 || items[0].Attr("id") != "a" {
+		t.Fatalf("items=%v", items)
+	}
+	if items[1].Parent.Name != "items" {
+		t.Fatal("parent link missing")
+	}
+	if root.First("note").TrimText() != "hello" {
+		t.Fatalf("text=%q", root.First("note").Text)
+	}
+	if root.First("missing") != nil {
+		t.Fatal("First on missing path must be nil")
+	}
+	if got := len(root.Find("items/*")); got != 2 {
+		t.Fatalf("wildcard find=%d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, doc := range []string{"", "<a><b></a>", "<a/><b/>", "<a>"} {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("Parse(%q) must fail", doc)
+		}
+	}
+}
+
+func TestTemplateDirectives(t *testing.T) {
+	sheet := &Stylesheet{
+		Name: "test",
+		Rules: []Rule{
+			{Match: "top", Template: "T:{@name} items={count:items/item}\n{apply:items/item}"},
+			{Match: "item", Template: "- {pos()} {name()} {@id} kind={@kind|none}{if:@kind} HAS{else} MISSING{end}\n"},
+		},
+	}
+	out, err := TransformBytes(sheet, []byte(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "T:t items=2\n- 0 item a kind=x HAS\n- 1 item b kind=none MISSING\n"
+	if out != want {
+		t.Fatalf("out=%q want %q", out, want)
+	}
+}
+
+func TestTemplateLiteralBraces(t *testing.T) {
+	sheet := &Stylesheet{Rules: []Rule{{Match: "top", Template: "{{@x}}"}}}
+	out, err := TransformBytes(sheet, []byte(`<top/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "{@x}" {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestTemplateErrors(t *testing.T) {
+	for _, tpl := range []string{"{bogus}", "{@x", "{if:@a} no end", "{}"} {
+		sheet := &Stylesheet{Rules: []Rule{{Match: "top", Template: tpl}}}
+		if _, err := TransformBytes(sheet, []byte(`<top/>`)); err == nil {
+			t.Errorf("template %q must fail", tpl)
+		}
+	}
+}
+
+func TestDefaultRuleRecurses(t *testing.T) {
+	sheet := &Stylesheet{Rules: []Rule{{Match: "item", Template: "[{@id}]"}}}
+	out, err := TransformBytes(sheet, []byte(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "[a][b]" {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestRuleCycleDetected(t *testing.T) {
+	sheet := &Stylesheet{Rules: []Rule{{Match: "top", Template: "{apply:.}"}}}
+	// apply:. is not a cycle; build a real one: rule applies itself via
+	// a render func.
+	sheet = &Stylesheet{Rules: []Rule{{Match: "top", Render: func(e *Engine, n *Node) (string, error) {
+		return e.Apply(n)
+	}}}}
+	if _, err := TransformBytes(sheet, []byte(`<top/>`)); err == nil ||
+		!strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// compiled design fixtures ---------------------------------------------
+
+func compiledDocs(t *testing.T) (dp, fsm, rtgDoc []byte) {
+	t.Helper()
+	src := `void f(int[] a, int[] b, int n) {
+	  for (int i = 0; i < n; i = i + 1) { b[i] = a[i] * 2; }
+	  partition;
+	  for (int j = 0; j < n; j = j + 1) { a[j] = b[j] + 1; }
+	}`
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(prog, "f", compiler.Config{
+		ArraySizes: map[string]int{"a": 8, "b": 8},
+		ScalarArgs: map[string]int64{"n": 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpDoc, err := xmlspec.Marshal(res.Design.Datapaths["f_p1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsmDoc, err := xmlspec.Marshal(res.Design.FSMs["f_p1_ctl"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDoc, err := xmlspec.Marshal(res.Design.RTG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dpDoc, fsmDoc, rDoc
+}
+
+func TestDatapathToDot(t *testing.T) {
+	dp, _, _ := compiledDocs(t)
+	out, err := TransformBytes(DatapathToDot(), dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"digraph \"f_p1\"", "\"m_a\"", "\"m_b\"", "ram",
+		"\"__fsm__\"", "style=dashed", "->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("dot not closed")
+	}
+}
+
+func TestFSMToDot(t *testing.T) {
+	_, fsm, _ := compiledDocs(t)
+	out, err := TransformBytes(FSMToDot(), fsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", "\"END\"", "doublecircle", "label=\"s0\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fsm dot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRTGToDot(t *testing.T) {
+	_, _, r := compiledDocs(t)
+	out, err := TransformBytes(RTGToDot(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"cfg1\"", "\"cfg2\"", "cylinder", "\"cfg1\" -> \"cfg2\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rtg dot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFSMToJava(t *testing.T) {
+	_, fsm, _ := compiledDocs(t)
+	out, err := TransformBytes(FSMToJava(), fsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"public class f_p1_ctl", "public void step()", "switch (state)",
+		"ST_END", "public boolean s0;", "inFinal", "outputs();",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("java missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "strue") || strings.Contains(out, "sfalse") {
+		t.Error("guard rewriting corrupted identifiers")
+	}
+}
+
+func TestRTGToJava(t *testing.T) {
+	_, _, r := compiledDocs(t)
+	out, err := TransformBytes(RTGToJava(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"public class f_rtg", "new int[8]", "case \"cfg1\"", "runConfiguration",
+		"cfg = \"cfg2\";", "cfg = null;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rtg java missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDatapathToHDS(t *testing.T) {
+	dp, _, _ := compiledDocs(t)
+	out, err := TransformBytes(DatapathToHDS(), dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"[design] f_p1", "[components]", "component m_a ram",
+		"[nets]", "net ", "[controls]", "[statuses]", "status s0", "[end]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hds missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestForDocument(t *testing.T) {
+	dp, fsm, r := compiledDocs(t)
+	for _, doc := range [][]byte{dp, fsm, r} {
+		root, err := Parse(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sheet, err := ForDocument(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Transform(sheet, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(out, "digraph") {
+			t.Errorf("not dot output: %q", out[:20])
+		}
+	}
+	if _, err := ForDocument(&Node{Name: "mystery"}); err == nil {
+		t.Error("unknown root must fail")
+	}
+}
+
+func TestJavaGuard(t *testing.T) {
+	cases := map[string]string{
+		"":         "true",
+		"s0":       "s0",
+		"s1 & !s2": "s1 && !s2",
+		"s1 | s10": "s1 || s10",
+		"1":        "true",
+		"0":        "false",
+		"(s0 & 1)": "(s0 && true)",
+		"!(a | b)": "!(a || b)",
+	}
+	for in, want := range cases {
+		if got := javaGuard(in); got != want {
+			t.Errorf("javaGuard(%q)=%q want %q", in, got, want)
+		}
+	}
+}
