@@ -1,0 +1,30 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
+# what CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/hades/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check test race

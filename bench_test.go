@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -155,6 +156,34 @@ func benchTransform(sheet *xsl.Stylesheet, doc []byte) func(*testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// --- Suite parallelism ----------------------------------------------------
+//
+// BenchmarkSuiteParallel tracks the runner's scaling: the same
+// multi-case suite sharded across 1/2/4/8 workers. The reported
+// "speedup" metric is sum-of-case-walls over suite wall; the ns/op
+// trajectory across the sub-benchmarks is the paper's "feasible time"
+// claim as a perf series.
+func BenchmarkSuiteParallel(b *testing.B) {
+	suite := &core.Suite{Name: "parallel"}
+	for i := 0; i < 8; i++ {
+		suite.Cases = append(suite.Cases, fdctTestCase(fmt.Sprintf("fdct1_%d", i), 1024, false))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := &core.Runner{Workers: workers}
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				res := r.Run(context.Background(), suite, core.Options{})
+				if !res.Passed() {
+					b.Fatalf("suite failed: %+v", res.Results)
+				}
+				speedup = res.Speedup
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
 	}
 }
 

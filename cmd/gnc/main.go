@@ -1,20 +1,28 @@
 // Command gnc is the compiler driver (the Galadriel & Nenya stand-in):
-// it compiles a MiniJ source file into the datapath/fsm/rtg XML dialects
-// and, on request, their dot/java/hds translations.
+// it compiles MiniJ functions into the datapath/fsm/rtg XML dialects
+// and, on request, their dot/java/hds translations, or verifies each
+// compiled function against the golden interpreter with the parallel
+// suite runner.
 //
 // Usage:
 //
 //	gnc -src fdct.mj -func fdct -size img=4096 -size tmp=4096 \
 //	    -size out=4096 -arg nblocks=64 -out build/ -emit
+//	gnc -src lib.mj -func f,g,h -verify -j 4 -failfast -json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/cmd/internal/cliutil"
 	"repro/internal/compiler"
+	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/xmlspec"
 	"repro/internal/xsl"
@@ -30,16 +38,19 @@ func main() {
 func run() error {
 	var (
 		srcPath  = flag.String("src", "", "MiniJ source file")
-		funcName = flag.String("func", "", "function to compile")
+		funcName = flag.String("func", "", "function(s) to compile, comma-separated")
 		outDir   = flag.String("out", "build", "output directory")
 		auto     = flag.Int("auto", 0, "auto-split into N temporal partitions")
 		width    = flag.Int("width", 32, "datapath word width")
 		emit     = flag.Bool("emit", false, "also emit dot/java/hds translations")
+		verify   = flag.Bool("verify", false, "simulate each compiled function and verify against the golden interpreter")
 		sizes    = cliutil.KVInts{}
 		args     = cliutil.KVInt64s{}
+		rf       cliutil.RunnerFlags
 	)
 	flag.Var(sizes, "size", "array size: name=depth (repeatable)")
 	flag.Var(args, "arg", "scalar argument: name=value (repeatable)")
+	rf.Register(nil)
 	flag.Parse()
 	if *srcPath == "" || *funcName == "" {
 		flag.Usage()
@@ -53,37 +64,90 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := compiler.Compile(prog, *funcName, compiler.Config{
-		Width:          *width,
-		ArraySizes:     sizes,
-		ScalarArgs:     args,
-		AutoPartitions: *auto,
-	})
-	if err != nil {
-		return err
+	// In -verify -json mode stdout must stay pure JSON Lines; route the
+	// compile listing to stderr.
+	info := io.Writer(os.Stdout)
+	if *verify && rf.JSON {
+		info = os.Stderr
 	}
-	files, err := xmlspec.SaveDesign(res.Design, *outDir)
-	if err != nil {
-		return err
+	funcs := strings.Split(*funcName, ",")
+	for _, fn := range funcs {
+		fn = strings.TrimSpace(fn)
+		dir := *outDir
+		if len(funcs) > 1 {
+			dir = filepath.Join(*outDir, fn)
+		}
+		res, err := compiler.Compile(prog, fn, compiler.Config{
+			Width:          *width,
+			ArraySizes:     sizes,
+			ScalarArgs:     args,
+			AutoPartitions: *auto,
+		})
+		if err != nil {
+			return err
+		}
+		files, err := xmlspec.SaveDesign(res.Design, dir)
+		if err != nil {
+			return err
+		}
+		for label, path := range files {
+			fmt.Fprintf(info, "%-24s %s\n", label, path)
+		}
+		for _, m := range res.Meta {
+			fmt.Fprintf(info, "%s: datapath=%s operators=%d states=%d\n", m.ID, m.Datapath, m.Operators, m.States)
+		}
+		if *emit {
+			if err := emitTranslations(info, dir, res.Design); err != nil {
+				return err
+			}
+		}
 	}
-	for label, path := range files {
-		fmt.Printf("%-24s %s\n", label, path)
-	}
-	for _, m := range res.Meta {
-		fmt.Printf("%s: datapath=%s operators=%d states=%d\n", m.ID, m.Datapath, m.Operators, m.States)
-	}
-	if !*emit {
+	if !*verify {
 		return nil
 	}
+	return verifyFuncs(string(src), funcs, sizes, args, *width, *auto, rf)
+}
+
+// verifyFuncs runs the full compile→simulate→golden-compare flow for
+// each function through the parallel suite runner, the same machinery
+// the testsuite command uses for the regression suite.
+func verifyFuncs(src string, funcs []string, sizes map[string]int, args map[string]int64, width, auto int, rf cliutil.RunnerFlags) error {
+	suite := &core.Suite{Name: "gnc-verify"}
+	for _, fn := range funcs {
+		fn = strings.TrimSpace(fn)
+		suite.Cases = append(suite.Cases, core.TestCase{
+			Name:       fn,
+			Source:     src,
+			Func:       fn,
+			ArraySizes: sizes,
+			ScalarArgs: args,
+		})
+	}
+	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
+	res := runner.Run(context.Background(), suite, core.Options{Width: width, AutoPartitions: auto})
+	if rf.JSON {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		res.Report(os.Stdout)
+	}
+	if !res.Passed() {
+		return fmt.Errorf("verification failed")
+	}
+	return nil
+}
+
+func emitTranslations(info io.Writer, outDir string, design *xmlspec.Design) error {
 	emitOne := func(name, content string) error {
-		path := *outDir + "/" + name
+		path := filepath.Join(outDir, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("%-24s %s\n", "emit", path)
+		fmt.Fprintf(info, "%-24s %s\n", "emit", path)
 		return nil
 	}
-	rtgDoc, err := xmlspec.Marshal(res.Design.RTG)
+	rtgDoc, err := xmlspec.Marshal(design.RTG)
 	if err != nil {
 		return err
 	}
@@ -97,7 +161,7 @@ func run() error {
 	} else if err := emitOne("rtg.java", out); err != nil {
 		return err
 	}
-	for name, dp := range res.Design.Datapaths {
+	for name, dp := range design.Datapaths {
 		doc, err := xmlspec.Marshal(dp)
 		if err != nil {
 			return err
@@ -113,7 +177,7 @@ func run() error {
 			return err
 		}
 	}
-	for name, fsm := range res.Design.FSMs {
+	for name, fsm := range design.FSMs {
 		doc, err := xmlspec.Marshal(fsm)
 		if err != nil {
 			return err

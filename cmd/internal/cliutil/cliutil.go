@@ -2,10 +2,35 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// RunnerFlags bundles the suite-execution flags shared by the tools that
+// run regression cases (testsuite, gnc -verify): worker count, per-case
+// timeout, fail-fast, and machine-readable output.
+type RunnerFlags struct {
+	Jobs     int
+	Timeout  time.Duration
+	FailFast bool
+	JSON     bool
+}
+
+// Register installs the flags on fs (the default flag.CommandLine when
+// fs is nil).
+func (f *RunnerFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.IntVar(&f.Jobs, "j", runtime.GOMAXPROCS(0), "parallel suite workers (<=0: one per CPU)")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "per-case timeout; a case exceeding it fails (0 = none)")
+	fs.BoolVar(&f.FailFast, "failfast", false, "cancel pending cases after the first failure")
+	fs.BoolVar(&f.JSON, "json", false, "emit one JSON object per case instead of the text report")
+}
 
 // KVInts collects repeated -flag name=int values.
 type KVInts map[string]int

@@ -1,6 +1,38 @@
 package cliutil
 
-import "testing"
+import (
+	"flag"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRunnerFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var rf RunnerFlags
+	rf.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Jobs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs=%d, want GOMAXPROCS", rf.Jobs)
+	}
+	if rf.Timeout != 0 || rf.FailFast || rf.JSON {
+		t.Fatalf("rf=%+v", rf)
+	}
+}
+
+func TestRunnerFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var rf RunnerFlags
+	rf.Register(fs)
+	if err := fs.Parse([]string{"-j", "4", "-timeout", "30s", "-failfast", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Jobs != 4 || rf.Timeout != 30*time.Second || !rf.FailFast || !rf.JSON {
+		t.Fatalf("rf=%+v", rf)
+	}
+}
 
 func TestKVInts(t *testing.T) {
 	m := KVInts{}

@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	testsuite                 # run the regression suite
+//	testsuite                 # run the regression suite, one worker per CPU
+//	testsuite -j 4            # shard the cases across 4 workers
+//	testsuite -json           # one JSON object per case (CI artifacts)
+//	testsuite -failfast -timeout 30s
 //	testsuite -table1         # reproduce Table I (FDCT1/FDCT2/Hamming)
 //	testsuite -pixels 65536   # Table I FDCTs over a larger image
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/cmd/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/workloads"
 )
@@ -32,16 +37,25 @@ func run() error {
 		pixels  = flag.Int("pixels", 4096, "FDCT image size in pixels (Table I uses 4096)")
 		words   = flag.Int("words", 64, "Hamming codeword count")
 		workDir = flag.String("workdir", "", "write XML/dot/java/hds/mem artifacts here")
+		rf      cliutil.RunnerFlags
 	)
+	rf.Register(nil)
 	flag.Parse()
 
 	opts := core.Options{WorkDir: *workDir, EmitArtifacts: *workDir != ""}
-	if *table1 {
-		return runTable1(*pixels, *words, opts)
-	}
 	suite := regressionSuite(*pixels, *words)
-	res := suite.Run(opts)
-	res.Report(os.Stdout)
+	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
+	if *table1 {
+		return runTable1(suite, runner, *pixels, *words, opts, rf.JSON)
+	}
+	res := runner.Run(context.Background(), suite, opts)
+	if rf.JSON {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		res.Report(os.Stdout)
+	}
 	if !res.Passed() {
 		return fmt.Errorf("suite failed")
 	}
@@ -65,29 +79,35 @@ func regressionSuite(pixels, words int) *core.Suite {
 	return s
 }
 
-func runTable1(pixels, words int, opts core.Options) error {
+// runTable1 regenerates the paper's Table I. The cases run through the
+// same parallel runner as the regression suite (so -j/-timeout/-failfast
+// apply); the rows print in case order regardless of completion order.
+func runTable1(suite *core.Suite, runner *core.Runner, pixels, words int, opts core.Options, asJSON bool) error {
+	sres := runner.Run(context.Background(), suite, opts)
+	if asJSON {
+		if err := sres.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if !sres.Passed() {
+			return fmt.Errorf("suite failed")
+		}
+		return nil
+	}
 	fmt.Printf("Table I reproduction (image: %d pixels, %d DCT blocks; hamming: %d codewords)\n\n",
 		pixels/64*64, pixels/64, words)
 	fmt.Printf("%-10s %7s %9s %11s %8s %10s %12s\n",
 		"Example", "loJava", "loXML-FSM", "loXML-dpath", "loJavaFSM", "operators", "sim-time")
-
-	suite := regressionSuite(pixels, words)
-	start := time.Now()
-	for _, tc := range suite.Cases {
-		res, err := core.RunCase(tc, opts)
-		if err != nil {
-			return err
-		}
+	for _, res := range sres.Results {
 		if res.Err != nil {
 			return res.Err
 		}
 		if !res.Passed {
-			return fmt.Errorf("%s: verification FAILED: %v", tc.Name, res.Failed())
+			return fmt.Errorf("%s: verification FAILED: %v", res.Name, res.Failed())
 		}
 		for i, p := range res.Partitions {
-			label := tc.Name
+			label := res.Name
 			if len(res.Partitions) > 1 {
-				label = fmt.Sprintf("%s/%s", tc.Name, p.ID)
+				label = fmt.Sprintf("%s/%s", res.Name, p.ID)
 			}
 			loJava := ""
 			if i == 0 {
@@ -98,7 +118,7 @@ func runTable1(pixels, words int, opts core.Options) error {
 				p.Operators, p.SimWall.Round(time.Millisecond))
 		}
 	}
-	fmt.Printf("\nall cases verified against the golden algorithm in %v\n",
-		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nall cases verified against the golden algorithm in %v (workers: %d)\n",
+		sres.Wall.Round(time.Millisecond), sres.Workers)
 	return nil
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -63,15 +64,29 @@ type PartitionStats struct {
 type CaseResult struct {
 	Name       string
 	Passed     bool
+	Skipped    bool // true when fail-fast or cancellation skipped the case
 	Mismatches map[string][]memfile.Mismatch
 	Partitions []PartitionStats
 	SourceLoC  int
 	TotalOps   int
+	Wall       time.Duration // end-to-end case wall time (set by the suite runner)
 	SimWall    time.Duration
 	RefWall    time.Duration
 	RefSteps   uint64
 	Artifacts  map[string]string // label -> path (when WorkDir set)
 	Err        error
+}
+
+// OK reports whether the case ran to completion and verified.
+func (r *CaseResult) OK() bool { return r.Passed && r.Err == nil && !r.Skipped }
+
+// Events sums the simulated kernel events across all partitions.
+func (r *CaseResult) Events() uint64 {
+	var n uint64
+	for _, p := range r.Partitions {
+		n += p.SimulatedEvents
+	}
+	return n
 }
 
 // Failed lists the arrays with mismatches.
@@ -88,7 +103,9 @@ func (r *CaseResult) Failed() []string {
 // Summary renders a one-line report.
 func (r *CaseResult) Summary() string {
 	status := "PASS"
-	if !r.Passed {
+	if r.Skipped {
+		status = "SKIP"
+	} else if !r.Passed {
 		status = "FAIL"
 	}
 	return fmt.Sprintf("%-12s %s ops=%d sim=%v ref=%v", r.Name, status, r.TotalOps, r.SimWall, r.RefWall)
@@ -113,11 +130,19 @@ func CompileOnly(tc TestCase, opts Options) (*xmlspec.Design, error) {
 	return comp.Design, nil
 }
 
-// RunCase executes the full verification flow for one case: compile →
+// RunCase executes the full verification flow for one case with no
+// cancellation; see RunCaseContext.
+func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
+	return RunCaseContext(context.Background(), tc, opts)
+}
+
+// RunCaseContext executes the full verification flow for one case: compile →
 // emit/validate XML → (optionally translate to dot/java/hds) → simulate
 // through the RTG → run the golden algorithm on copies of the memory
-// files → compare memory contents.
-func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
+// files → compare memory contents. The context cancels the flow between
+// phases and is polled by the event kernel once per simulated instant,
+// so a timed-out case fails promptly instead of hanging the suite.
+func RunCaseContext(ctx context.Context, tc TestCase, opts Options) (*CaseResult, error) {
 	res := &CaseResult{Name: tc.Name, Mismatches: map[string][]memfile.Mismatch{}, Artifacts: map[string]string{}}
 
 	prog, err := lang.Parse(tc.Source)
@@ -171,6 +196,7 @@ func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
 	ctl, err := rtg.NewController(comp.Design, rtg.Options{
 		ClockPeriod: clockPeriod(opts),
 		MaxCycles:   maxCycles(opts),
+		Context:     ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -200,6 +226,9 @@ func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
 	}
 
 	// Golden reference on copies of the same inputs.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", tc.Name, err)
+	}
 	ref := map[string][]int64{}
 	for name, depth := range tc.ArraySizes {
 		words := make([]int64, depth)

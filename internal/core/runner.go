@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner shards a Suite's cases across a pool of workers. Every case
+// builds its own compiler pipeline and hades.Simulator, so cases are
+// independent by construction; the runner adds deterministic result
+// ordering (results land at the case's index regardless of completion
+// order), per-case timeouts, cancellation, and fail-fast.
+//
+// This is the paper's feasibility argument made concrete: "verify, at
+// high abstraction levels, compiler results over a complete test suite
+// in feasible time" — suite wall time comes from sharding independent
+// cases over cores, not from a faster single lane.
+type Runner struct {
+	// Workers is the pool size; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout bounds each case's end-to-end wall time; 0 means none. A
+	// case that exceeds it is recorded as failed (never hung): the event
+	// kernel polls cancellation once per simulated instant.
+	Timeout time.Duration
+	// FailFast cancels the remaining cases after the first failure:
+	// cases not yet started and cases interrupted mid-run are both
+	// recorded as skipped, so the one real failure stays identifiable.
+	FailFast bool
+}
+
+// Run executes the suite and returns one result per case, in case
+// order. It never returns nil results: errored, timed-out, and skipped
+// cases are all materialised as failed CaseResults so the suite always
+// reports in full.
+func (r *Runner) Run(ctx context.Context, s *Suite, opts Options) *SuiteResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.Cases) {
+		workers = max(1, len(s.Cases))
+	}
+	out := &SuiteResult{
+		Name:    s.Name,
+		Workers: workers,
+		Results: make([]*CaseResult, len(s.Cases)),
+	}
+
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.Cases) {
+					return
+				}
+				tc := s.Cases[i]
+				if err := context.Cause(ctx); err != nil {
+					out.Results[i] = &CaseResult{
+						Name:    tc.Name,
+						Skipped: true,
+						Err:     fmt.Errorf("core: %s: skipped: %w", tc.Name, err),
+					}
+					continue
+				}
+				res := r.runOne(ctx, tc, opts)
+				out.Results[i] = res
+				if r.FailFast && !res.OK() && !res.Skipped {
+					cancel(errFailFast)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	out.Wall = time.Since(start)
+	out.aggregate()
+	return out
+}
+
+var errFailFast = errors.New("fail-fast after earlier failure")
+
+func (r *Runner) runOne(ctx context.Context, tc TestCase, opts Options) *CaseResult {
+	cctx := ctx
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := RunCaseContext(cctx, tc, opts)
+	wall := time.Since(start)
+	if err != nil {
+		switch cause := context.Cause(ctx); {
+		case cause != nil:
+			// The suite was canceled (fail-fast or caller) while this
+			// case was executing: skipped, not a failure of its own.
+			res = &CaseResult{
+				Name:    tc.Name,
+				Skipped: true,
+				Err:     fmt.Errorf("core: %s: skipped mid-run: %w", tc.Name, cause),
+			}
+		case errors.Is(cctx.Err(), context.DeadlineExceeded):
+			res = &CaseResult{
+				Name: tc.Name,
+				Err:  fmt.Errorf("core: %s: timeout after %v: %w", tc.Name, r.Timeout, err),
+			}
+		default:
+			res = &CaseResult{Name: tc.Name, Err: err}
+		}
+	}
+	res.Wall = wall
+	return res
+}
+
+// aggregate fills the suite-level statistics from the per-case results.
+func (s *SuiteResult) aggregate() {
+	var sum time.Duration
+	for _, r := range s.Results {
+		if r == nil {
+			continue
+		}
+		s.TotalEvents += r.Events()
+		sum += r.Wall
+		if r.Wall > s.MaxCaseWall {
+			s.MaxCaseWall = r.Wall
+		}
+	}
+	if s.Wall > 0 {
+		s.Speedup = float64(sum) / float64(s.Wall)
+	}
+}

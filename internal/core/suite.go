@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -19,25 +20,31 @@ type Suite struct {
 
 // SuiteResult aggregates a suite run.
 type SuiteResult struct {
-	Name    string
-	Results []*CaseResult
-	Wall    time.Duration
+	Name        string
+	Results     []*CaseResult
+	Wall        time.Duration
+	Workers     int           // worker-pool size the suite ran with
+	TotalEvents uint64        // kernel events summed over every case
+	MaxCaseWall time.Duration // slowest single case (the parallel critical path)
+	Speedup     float64       // sum of case walls / suite wall
 }
 
-// Passed reports whether every case passed.
+// Passed reports whether every case passed. An empty suite reports
+// not-passed: a regression run that verified nothing must never be
+// mistaken for a green one.
 func (s *SuiteResult) Passed() bool {
 	for _, r := range s.Results {
-		if !r.Passed || r.Err != nil {
+		if !r.OK() {
 			return false
 		}
 	}
 	return len(s.Results) > 0
 }
 
-// Counts returns (passed, failed).
+// Counts returns (passed, failed); skipped cases count as failed.
 func (s *SuiteResult) Counts() (passed, failed int) {
 	for _, r := range s.Results {
-		if r.Passed && r.Err == nil {
+		if r.OK() {
 			passed++
 		} else {
 			failed++
@@ -46,26 +53,35 @@ func (s *SuiteResult) Counts() (passed, failed int) {
 	return
 }
 
-// Run executes every case; a case that errors is recorded as failed
-// rather than aborting the suite (the whole suite must always report).
-func (s *Suite) Run(opts Options) *SuiteResult {
-	out := &SuiteResult{Name: s.Name}
-	start := time.Now()
-	for _, tc := range s.Cases {
-		r, err := RunCase(tc, opts)
-		if err != nil {
-			r = &CaseResult{Name: tc.Name, Passed: false, Err: err}
+// Skipped counts the cases skipped by fail-fast or cancellation.
+func (s *SuiteResult) Skipped() int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Skipped {
+			n++
 		}
-		out.Results = append(out.Results, r)
 	}
-	out.Wall = time.Since(start)
-	return out
+	return n
 }
 
-// Report writes a human-readable suite report.
+// Run executes every case sequentially; a case that errors is recorded
+// as failed rather than aborting the suite (the whole suite must always
+// report). Use a Runner directly for parallel execution, timeouts, and
+// fail-fast.
+func (s *Suite) Run(opts Options) *SuiteResult {
+	return (&Runner{Workers: 1}).Run(context.Background(), s, opts)
+}
+
+// Report writes a human-readable suite report. Its output is
+// deterministic for a given suite regardless of worker count, modulo
+// wall times and the derived speedup.
 func (s *SuiteResult) Report(w io.Writer) {
 	fmt.Fprintf(w, "suite %s: %d case(s), %v\n", s.Name, len(s.Results), s.Wall.Round(time.Millisecond))
 	for _, r := range s.Results {
+		if r.Skipped {
+			fmt.Fprintf(w, "  %-12s SKIP %v\n", r.Name, r.Err)
+			continue
+		}
 		if r.Err != nil {
 			fmt.Fprintf(w, "  %-12s ERROR %v\n", r.Name, r.Err)
 			continue
@@ -80,7 +96,13 @@ func (s *SuiteResult) Report(w io.Writer) {
 		}
 	}
 	passed, failed := s.Counts()
-	fmt.Fprintf(w, "result: %d passed, %d failed\n", passed, failed)
+	fmt.Fprintf(w, "result: %d passed, %d failed", passed, failed)
+	if n := s.Skipped(); n > 0 {
+		fmt.Fprintf(w, " (%d skipped)", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "workers: %d, events: %d, max case %v, speedup %.2fx\n",
+		s.Workers, s.TotalEvents, s.MaxCaseWall.Round(time.Millisecond), s.Speedup)
 }
 
 func indent(s, pad string) string {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Reactor is anything that reacts to signal changes: operators,
@@ -73,6 +74,10 @@ type Stats struct {
 // bound, which indicates combinational feedback in the design under test.
 var ErrMaxDeltas = errors.New("hades: delta cycle limit exceeded (combinational loop?)")
 
+// ErrInterrupted is returned by Run when the Interrupt hook asks the
+// kernel to stop (per-case timeouts and suite cancellation).
+var ErrInterrupted = errors.New("hades: run interrupted")
+
 // Simulator is the event-driven kernel. Create with NewSimulator, build
 // signals and reactors, then Run.
 type Simulator struct {
@@ -89,6 +94,12 @@ type Simulator struct {
 
 	// MaxDeltas bounds delta cycles per instant (default 10000).
 	MaxDeltas int
+
+	// Interrupt, when set, is polled once per simulated instant; when it
+	// returns true, Run stops immediately and returns ErrInterrupted.
+	// Suite runners use it to enforce per-case timeouts and cancellation
+	// without abandoning the goroutine that owns the kernel.
+	Interrupt func() bool
 
 	pending map[Reactor]bool // reactors to run this delta
 	order   []Reactor
@@ -184,6 +195,9 @@ func (s *Simulator) Run(limit Time) (Time, error) {
 			return s.now, nil
 		}
 		if at != s.now {
+			if s.Interrupt != nil && s.Interrupt() {
+				return s.now, ErrInterrupted
+			}
 			s.stats.Instants++
 			s.delta = 0
 		} else if delta > s.MaxDeltas {
@@ -259,10 +273,12 @@ func (b *IDBase) AssignID(id int) { b.id = id }
 // ReactorID returns the stable ordering id.
 func (b *IDBase) ReactorID() int { return b.id }
 
-var globalID int
+var globalID atomic.Int64
 
-// NextID returns a fresh monotonically increasing reactor id.
+// NextID returns a fresh monotonically increasing reactor id. It is safe
+// for concurrent use: independent simulators are routinely built in
+// parallel by the suite runner, and ids only order reactors within one
+// simulator, so cross-simulator gaps are harmless.
 func NextID() int {
-	globalID++
-	return globalID
+	return int(globalID.Add(1))
 }

@@ -8,6 +8,7 @@
 package rtg
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,10 @@ type Options struct {
 	// Observer, when set, is called with each configuration's live
 	// elaboration before the run starts (probe/VCD attachment hook).
 	Observer func(cfgID string, el *netlist.Elaboration)
+	// Context, when set, cancels execution: it is checked before each
+	// configuration and polled by the event kernel once per simulated
+	// instant, so per-case timeouts stop a running simulation promptly.
+	Context context.Context
 }
 
 func (o *Options) withDefaults() Options {
@@ -140,6 +145,10 @@ func (c *Controller) Execute() (*ExecResult, error) {
 		if !ok {
 			return res, fmt.Errorf("rtg: unknown configuration %q", cur)
 		}
+		if ctx := c.opts.Context; ctx != nil && ctx.Err() != nil {
+			return res, fmt.Errorf("rtg: %s: canceled before configuration %q: %w",
+				c.design.RTG.Name, cur, ctx.Err())
+		}
 		run, err := c.runConfiguration(cfg)
 		if err != nil {
 			return res, err
@@ -176,6 +185,9 @@ func (c *Controller) runConfiguration(cfg *xmlspec.Configuration) (*ConfigRun, e
 	}
 
 	sim := hades.NewSimulator()
+	if ctx := c.opts.Context; ctx != nil {
+		sim.Interrupt = func() bool { return ctx.Err() != nil }
+	}
 	clk := sim.NewSignal(cfg.ID+".clk", 1)
 	el, err := netlist.Elaborate(sim, clk, dp, fsm, netlist.Options{
 		Registry: c.opts.Registry,
