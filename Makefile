@@ -1,9 +1,10 @@
 # Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs
-# what CI runs.
+# what CI runs (modulo the Actions-only staticcheck install and artifact
+# upload).
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-update bench-go cover lint fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -14,8 +15,36 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/hades/...
 
+# bench runs the pinned benchmark scenarios, writes BENCH_<name>.json
+# files to bench-out/, and fails on a >25% events/sec regression versus
+# the checked-in baseline (bench/baseline/).
 bench:
+	mkdir -p bench-out
+	$(GO) run ./cmd/bench -scenarios pinned -reps 3 -out bench-out \
+		-baseline bench/baseline -threshold 0.25
+
+# bench-update refreshes the checked-in baseline on this machine.
+bench-update:
+	$(GO) run ./cmd/bench -scenarios pinned -reps 3 -baseline bench/baseline -update-baseline
+
+# bench-go runs the go-test benchmarks (Table I rows, kernel two-level
+# vs heap reference) once each.
+bench-go:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+	$(GO) test -run XXX -bench 'BenchmarkKernel' -benchtime 0.2s ./internal/hades/
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# lint always vets; staticcheck (the SA bug analyses, as in CI) runs
+# when the binary is installed — `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1`.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -checks 'SA*' ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
 
 fmt:
 	gofmt -w .
@@ -27,4 +56,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race
+ci: build vet fmt-check lint test race cover bench

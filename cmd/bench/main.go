@@ -1,0 +1,115 @@
+// Command bench runs the repeatable benchmark scenarios and records the
+// performance trajectory as machine-readable BENCH_<name>.json files.
+//
+// Usage:
+//
+//	bench -list                      # show the scenario registry
+//	bench                            # run the pinned set, write BENCH_*.json to .
+//	bench -scenarios all -out bout   # run everything, write files to bout/
+//	bench -baseline bench/baseline   # after running, fail on >25% events/sec regression
+//	bench -update-baseline           # refresh the checked-in baseline instead
+//	bench -reps 5 -json              # more repetitions; JSON lines on stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list scenarios and exit")
+		selector  = flag.String("scenarios", "pinned", "scenarios to run: pinned, all, or comma-separated names")
+		reps      = flag.Int("reps", 3, "timed repetitions per scenario (best events/sec wins)")
+		out       = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		baseline  = flag.String("baseline", "", "baseline directory to compare against (exit 1 on regression)")
+		threshold = flag.Float64("threshold", 0.25, "allowed events/sec regression vs baseline (0.25 = fail below 75%)")
+		update    = flag.Bool("update-baseline", false, "write results into -baseline instead of comparing")
+		asJSON    = flag.Bool("json", false, "emit one JSON object per scenario on stdout")
+	)
+	flag.Parse()
+
+	all := bench.Scenarios()
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		for _, sc := range all {
+			pin := ""
+			if sc.Pinned {
+				pin = "pinned"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", sc.Name, pin, sc.Desc)
+		}
+		return tw.Flush()
+	}
+
+	selected, err := bench.Select(*selector, all)
+	if err != nil {
+		return err
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no scenarios selected by %q", *selector)
+	}
+	if *update && *baseline == "" {
+		return fmt.Errorf("-update-baseline requires -baseline")
+	}
+
+	results := map[string]*bench.Result{}
+	enc := json.NewEncoder(os.Stdout)
+	for _, sc := range selected {
+		res, err := bench.Run(sc, *reps)
+		if err != nil {
+			return err
+		}
+		results[res.Name] = res
+		dir := *out
+		if *update {
+			dir = *baseline
+		}
+		path, err := res.Save(dir)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("%-22s %12.0f events/sec  %8.3f allocs/event  %10d events  %8.1fms  -> %s\n",
+				res.Name, res.EventsPerSec, res.AllocsPerEvent, res.Events,
+				float64(res.WallNS)/1e6, path)
+		}
+	}
+
+	if *baseline != "" && !*update {
+		base, err := bench.Load(*baseline)
+		if err != nil {
+			return err
+		}
+		if len(base) == 0 {
+			return fmt.Errorf("no BENCH_*.json baseline found in %s", *baseline)
+		}
+		regs := bench.Compare(results, base, *threshold)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			return fmt.Errorf("%d scenario(s) regressed more than %.0f%% vs %s",
+				len(regs), *threshold*100, *baseline)
+		}
+		fmt.Printf("baseline check: %d scenario(s) within %.0f%% of %s\n",
+			len(base), *threshold*100, *baseline)
+	}
+	return nil
+}

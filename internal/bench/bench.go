@@ -1,0 +1,208 @@
+// Package bench is the repeatable benchmark subsystem: named workload
+// scenarios (raw kernel traffic, the paper's evaluation workloads end to
+// end, and rtg-generated designs at several widths), a runner that
+// repeats each scenario and keeps the best observation, and
+// machine-readable BENCH_<name>.json output so the performance
+// trajectory of the simulator is recorded and CI can fail on
+// regressions (see Compare).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measure is what one timed execution of a scenario observed. Wall is
+// the simulation wall time only (compile and golden-reference phases of
+// end-to-end scenarios are excluded, so events/sec is a kernel
+// throughput number everywhere).
+type Measure struct {
+	Events uint64
+	Cycles uint64
+	Wall   time.Duration
+}
+
+// RunFunc executes one prepared, timed iteration of a scenario.
+type RunFunc func() (Measure, error)
+
+// Scenario is a named repeatable workload. Prepare does the one-time
+// setup (compiling a design, generating inputs) and returns the timed
+// closure; the runner calls it once and then times Reps executions.
+type Scenario struct {
+	Name    string
+	Desc    string
+	Pinned  bool // part of the CI regression set
+	Prepare func() (RunFunc, error)
+}
+
+// Result is the machine-readable outcome of one scenario, serialised as
+// BENCH_<name>.json.
+type Result struct {
+	Name           string  `json:"name"`
+	Desc           string  `json:"desc,omitempty"`
+	Pinned         bool    `json:"pinned"`
+	Reps           int     `json:"reps"`
+	Events         uint64  `json:"events"`
+	Cycles         uint64  `json:"cycles,omitempty"`
+	WallNS         int64   `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	UnixTime       int64   `json:"unix_time"`
+	GoVersion      string  `json:"go_version"`
+	GOOS           string  `json:"goos"`
+	GOARCH         string  `json:"goarch"`
+	CPUs           int     `json:"cpus"`
+}
+
+// Run prepares the scenario once and times reps executions, reporting
+// the best observation (best-of-N is the stable estimator for
+// throughput under scheduler noise). Allocation counts are averaged
+// across the repetitions.
+func Run(sc Scenario, reps int) (*Result, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	run, err := sc.Prepare()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: prepare: %w", sc.Name, err)
+	}
+	res := &Result{
+		Name:      sc.Name,
+		Desc:      sc.Desc,
+		Pinned:    sc.Pinned,
+		Reps:      reps,
+		UnixTime:  time.Now().Unix(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	var totalAllocs, totalEvents uint64
+	best := -1.0
+	for i := 0; i < reps; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		m, err := run()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", sc.Name, err)
+		}
+		runtime.ReadMemStats(&after)
+		if m.Events == 0 || m.Wall <= 0 {
+			return nil, fmt.Errorf("bench: %s: empty measure (events=%d wall=%v)", sc.Name, m.Events, m.Wall)
+		}
+		totalAllocs += after.Mallocs - before.Mallocs
+		totalEvents += m.Events
+		if eps := float64(m.Events) / m.Wall.Seconds(); eps > best {
+			best = eps
+			res.Events = m.Events
+			res.Cycles = m.Cycles
+			res.WallNS = m.Wall.Nanoseconds()
+			res.EventsPerSec = eps
+		}
+	}
+	res.AllocsPerEvent = float64(totalAllocs) / float64(totalEvents)
+	return res, nil
+}
+
+// FileName returns the BENCH_<name>.json file name for a scenario name.
+func FileName(name string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '-'
+	}, name)
+	return "BENCH_" + clean + ".json"
+}
+
+// Save writes the result as BENCH_<name>.json under dir.
+func (r *Result) Save(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	doc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, FileName(r.Name))
+	return path, os.WriteFile(path, append(doc, '\n'), 0o644)
+}
+
+// Load reads every BENCH_*.json under dir, keyed by scenario name.
+func Load(dir string) (map[string]*Result, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Result{}
+	for _, path := range matches {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var r Result
+		if err := json.Unmarshal(doc, &r); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", path, err)
+		}
+		if r.Name == "" {
+			return nil, fmt.Errorf("bench: %s: missing scenario name", path)
+		}
+		out[r.Name] = &r
+	}
+	return out, nil
+}
+
+// Regression is one scenario that fell below the baseline tolerance.
+type Regression struct {
+	Name     string
+	Baseline float64 // baseline events/sec
+	Current  float64 // current events/sec
+	Ratio    float64 // current / baseline
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (%.2fx)",
+		r.Name, r.Current, r.Baseline, r.Ratio)
+}
+
+// Compare checks current results against a baseline: every baseline
+// scenario must be present and within threshold (e.g. 0.25 fails below
+// 75% of baseline events/sec). A missing current result is reported as
+// a regression with zero throughput so a silently-dropped scenario can
+// never pass the gate.
+func Compare(current, baseline map[string]*Result, threshold float64) []Regression {
+	var regs []Regression
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name]
+		if base.EventsPerSec <= 0 {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok {
+			regs = append(regs, Regression{Name: name, Baseline: base.EventsPerSec})
+			continue
+		}
+		ratio := cur.EventsPerSec / base.EventsPerSec
+		if ratio < 1-threshold {
+			regs = append(regs, Regression{
+				Name:     name,
+				Baseline: base.EventsPerSec,
+				Current:  cur.EventsPerSec,
+				Ratio:    ratio,
+			})
+		}
+	}
+	return regs
+}

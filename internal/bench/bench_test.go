@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fakeScenario(name string, events uint64, wall time.Duration) Scenario {
+	return Scenario{
+		Name:   name,
+		Pinned: true,
+		Prepare: func() (RunFunc, error) {
+			return func() (Measure, error) {
+				return Measure{Events: events, Cycles: 7, Wall: wall}, nil
+			}, nil
+		},
+	}
+}
+
+func TestRunComputesThroughput(t *testing.T) {
+	res, err := Run(fakeScenario("fake", 1000, 10*time.Millisecond), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "fake" || res.Reps != 3 || res.Events != 1000 || res.Cycles != 7 {
+		t.Fatalf("result = %+v", res)
+	}
+	want := 1000 / (10 * time.Millisecond).Seconds()
+	if res.EventsPerSec != want {
+		t.Fatalf("events/sec = %f want %f", res.EventsPerSec, want)
+	}
+	if res.GoVersion == "" || res.CPUs <= 0 || res.UnixTime == 0 {
+		t.Fatalf("host metadata missing: %+v", res)
+	}
+}
+
+func TestRunRejectsEmptyMeasure(t *testing.T) {
+	if _, err := Run(fakeScenario("empty", 0, time.Millisecond), 1); err == nil {
+		t.Fatal("zero-event measure must error")
+	}
+}
+
+func TestFileName(t *testing.T) {
+	if got := FileName("kernel-rings"); got != "BENCH_kernel-rings.json" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FileName("we ird/na:me"); got != "BENCH_we-ird-na-me.json" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(fakeScenario("round-trip", 500, 5*time.Millisecond), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := res.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_round-trip.json") {
+		t.Fatalf("path %q", path)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded["round-trip"]
+	if !ok {
+		t.Fatalf("loaded = %v", loaded)
+	}
+	if got.EventsPerSec != res.EventsPerSec || got.Events != res.Events {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, res)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]*Result{
+		"a": {Name: "a", EventsPerSec: 1000},
+		"b": {Name: "b", EventsPerSec: 1000},
+		"c": {Name: "c", EventsPerSec: 1000},
+	}
+	cur := map[string]*Result{
+		"a": {Name: "a", EventsPerSec: 800}, // within 25%
+		"b": {Name: "b", EventsPerSec: 700}, // regressed
+		// c missing entirely
+	}
+	regs := Compare(cur, base, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if regs[0].Name != "b" || regs[1].Name != "c" {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if regs[0].Ratio >= 0.75 {
+		t.Fatalf("ratio = %f", regs[0].Ratio)
+	}
+	if regs[1].Current != 0 {
+		t.Fatalf("missing scenario must report zero throughput: %v", regs[1])
+	}
+	if got := Compare(base, base, 0.25); len(got) != 0 {
+		t.Fatalf("identical runs must pass: %v", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all := Scenarios()
+	pinned, err := Select("pinned", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pinned) == 0 || len(pinned) > len(all) {
+		t.Fatalf("pinned = %d of %d", len(pinned), len(all))
+	}
+	for _, sc := range pinned {
+		if !sc.Pinned {
+			t.Fatalf("%s not pinned", sc.Name)
+		}
+	}
+	got, err := Select("kernel-rings,hamming-256", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "kernel-rings" || got[1].Name != "hamming-256" {
+		t.Fatalf("select = %v", got)
+	}
+	if _, err := Select("nope", all); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+// TestPinnedScenariosExecute runs every pinned scenario once with tiny
+// durations to keep the registry executable — a scenario that breaks
+// should fail here, not in the CI bench job.
+func TestPinnedScenariosExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pinned, err := Select("pinned", Scenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range pinned {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Events == 0 || res.EventsPerSec <= 0 {
+				t.Fatalf("suspicious result: %+v", res)
+			}
+		})
+	}
+}

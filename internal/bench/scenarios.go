@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hades"
+	"repro/internal/netlist"
+	"repro/internal/rtg"
+	"repro/internal/workloads"
+	"repro/internal/xmlspec"
+)
+
+// Scenarios returns the benchmark registry in a stable order. The
+// pinned subset is the CI regression set; the rest are opt-in
+// investigations (larger images, monolithic-vs-partitioned contrast).
+func Scenarios() []Scenario {
+	list := []Scenario{
+		// Raw kernel traffic: the substrate numbers behind every
+		// simulation time. Mirrors the pinned shapes benchmarked against
+		// the heap kernel in internal/hades.
+		kernelScenario("kernel-rings", "64 self-rescheduling rings, periods 2..17 (lane traffic)", true,
+			200_000, buildRings),
+		kernelScenario("kernel-deltastorm", "32 rings with two zero-delay hops per firing (delta traffic)", true,
+			100_000, buildDeltaStorm),
+		kernelScenario("kernel-fanout", "one ring fanning out to 256 listeners (wide batches)", true,
+			20_000, buildFanout),
+		kernelScenario("kernel-timers", "128 timers with periods 2000..14300 (overflow-heap traffic)", true,
+			2_000_000, buildFarTimers),
+
+		// A handcrafted design in the XML dialects (the examples/
+		// handcrafted accumulator, scaled up): netlist elaboration
+		// without the compiler in the loop.
+		{Name: "handcrafted-acc", Desc: "stimulus-fed accumulator over 4096 words (examples/handcrafted)",
+			Pinned: true, Prepare: prepareHandcrafted},
+
+		// The paper's evaluation workloads end to end through the RTG;
+		// wall time is the simulation only.
+		e2eScenario("fdct1-1024", "FDCT single configuration, 1024-pixel image", true,
+			func() core.TestCase { return fdctCase("fdct1", 1024, false) }, core.Options{}),
+		e2eScenario("fdct2-1024", "FDCT two configurations, 1024-pixel image", true,
+			func() core.TestCase { return fdctCase("fdct2", 1024, true) }, core.Options{}),
+		e2eScenario("hamming-256", "Hamming(7,4) decode of 256 codewords", true,
+			func() core.TestCase { return hammingCase(256) }, core.Options{}),
+		e2eScenario("fdct1-4096", "FDCT single configuration, paper-sized 4096-pixel image", false,
+			func() core.TestCase { return fdctCase("fdct1", 4096, false) }, core.Options{}),
+		e2eScenario("fdct2-4096", "FDCT two configurations, paper-sized 4096-pixel image", false,
+			func() core.TestCase { return fdctCase("fdct2", 4096, true) }, core.Options{}),
+	}
+
+	// rtg-generated designs at several datapath widths: the same
+	// Hamming source compiled at width 8/16/32 and executed through the
+	// reconfiguration controller (no golden check; this times the
+	// generated architecture, not the verification contract).
+	for _, w := range []int{8, 16, 32} {
+		w := w
+		list = append(list, e2eScenario(
+			fmt.Sprintf("rtg-hamming-w%d", w),
+			fmt.Sprintf("Hamming decoder compiled at datapath width %d", w),
+			true,
+			func() core.TestCase { return hammingCase(64) },
+			core.Options{Width: w},
+		))
+	}
+	sort.SliceStable(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// Select resolves a scenario selector: "all", "pinned", or a
+// comma-separated list of names.
+func Select(selector string, all []Scenario) ([]Scenario, error) {
+	switch selector {
+	case "", "pinned":
+		var out []Scenario
+		for _, sc := range all {
+			if sc.Pinned {
+				out = append(out, sc)
+			}
+		}
+		return out, nil
+	case "all":
+		return all, nil
+	}
+	byName := map[string]Scenario{}
+	for _, sc := range all {
+		byName[sc.Name] = sc
+	}
+	var out []Scenario
+	for _, name := range strings.Split(selector, ",") {
+		if name == "" {
+			continue
+		}
+		sc, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown scenario %q", name)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// --- kernel scenarios -------------------------------------------------------
+
+// kernelScenario builds a fresh simulator per iteration and runs it for
+// a fixed simulated horizon; only the Run call is timed.
+func kernelScenario(name, desc string, pinned bool, horizon hades.Time, build func(sim *hades.Simulator)) Scenario {
+	return Scenario{
+		Name:   name,
+		Desc:   desc,
+		Pinned: pinned,
+		Prepare: func() (RunFunc, error) {
+			return func() (Measure, error) {
+				sim := hades.NewSimulator()
+				build(sim)
+				start := time.Now()
+				if _, err := sim.Run(horizon); err != nil {
+					return Measure{}, err
+				}
+				return Measure{Events: sim.Stats().Events, Wall: time.Since(start)}, nil
+			}, nil
+		},
+	}
+}
+
+func buildRings(sim *hades.Simulator) {
+	for k := 0; k < 64; k++ {
+		sig := sim.NewSignal(fmt.Sprintf("ring%d", k), 32)
+		p := hades.Time(k%16 + 2)
+		sig.Listen(&hades.ReactorFunc{Label: "ring", Fn: func(s *hades.Simulator) {
+			s.SetUint(sig, sig.Uint()+1, p)
+		}})
+		sim.SetUint(sig, 1, hades.Time(k%7+1))
+	}
+}
+
+func buildDeltaStorm(sim *hades.Simulator) {
+	for k := 0; k < 32; k++ {
+		a := sim.NewSignal(fmt.Sprintf("a%d", k), 32)
+		b := sim.NewSignal(fmt.Sprintf("b%d", k), 32)
+		c := sim.NewSignal(fmt.Sprintf("c%d", k), 32)
+		p := hades.Time(k%7 + 5)
+		a.Listen(&hades.ReactorFunc{Label: "s0", Fn: func(s *hades.Simulator) { s.SetUint(b, a.Uint(), 0) }})
+		b.Listen(&hades.ReactorFunc{Label: "s1", Fn: func(s *hades.Simulator) { s.SetUint(c, b.Uint(), 0) }})
+		c.Listen(&hades.ReactorFunc{Label: "s2", Fn: func(s *hades.Simulator) { s.SetUint(a, c.Uint()+1, p) }})
+		sim.SetUint(a, 1, hades.Time(k%5+1))
+	}
+}
+
+func buildFanout(sim *hades.Simulator) {
+	drv := sim.NewSignal("drv", 32)
+	drv.Listen(&hades.ReactorFunc{Label: "drv", Fn: func(s *hades.Simulator) {
+		s.SetUint(drv, drv.Uint()+1, 4)
+	}})
+	for k := 0; k < 256; k++ {
+		out := sim.NewSignal(fmt.Sprintf("o%d", k), 32)
+		d := hades.Time(k%4 + 1)
+		drv.Listen(&hades.ReactorFunc{Label: "tap", Fn: func(s *hades.Simulator) {
+			s.SetUint(out, drv.Uint(), d)
+		}})
+	}
+	sim.SetUint(drv, 1, 1)
+}
+
+func buildFarTimers(sim *hades.Simulator) {
+	for k := 0; k < 128; k++ {
+		sig := sim.NewSignal(fmt.Sprintf("t%d", k), 32)
+		p := hades.Time(2000 + k*97)
+		sig.Listen(&hades.ReactorFunc{Label: "timer", Fn: func(s *hades.Simulator) {
+			s.SetUint(sig, sig.Uint()+1, p)
+		}})
+		sim.SetUint(sig, 1, hades.Time(k+1))
+	}
+}
+
+// --- end-to-end scenarios ---------------------------------------------------
+
+func fdctCase(name string, pixels int, two bool) core.TestCase {
+	src, sizes, args, inputs := workloads.FDCTCase(name, pixels, two, 42)
+	return core.TestCase{Name: name, Source: src, Func: "fdct",
+		ArraySizes: sizes, ScalarArgs: args, Inputs: inputs}
+}
+
+func hammingCase(words int) core.TestCase {
+	sizes, args, inputs, _ := workloads.HammingCase(words, 9)
+	return core.TestCase{Name: "hamming", Source: workloads.HammingSource, Func: "hamming",
+		ArraySizes: sizes, ScalarArgs: args, Inputs: inputs}
+}
+
+// e2eScenario compiles the case once, then per iteration walks the RTG
+// on fresh simulators. Wall is the sum of the per-configuration
+// simulation walls: compile, memory seeding and controller setup are
+// excluded, so events/sec tracks the kernel, not the frontend.
+func e2eScenario(name, desc string, pinned bool, tc func() core.TestCase, opts core.Options) Scenario {
+	return Scenario{
+		Name:   name,
+		Desc:   desc,
+		Pinned: pinned,
+		Prepare: func() (RunFunc, error) {
+			c := tc()
+			design, err := core.CompileOnly(c, opts)
+			if err != nil {
+				return nil, err
+			}
+			return func() (Measure, error) { return executeDesign(design, c) }, nil
+		},
+	}
+}
+
+func executeDesign(design *xmlspec.Design, tc core.TestCase) (Measure, error) {
+	ctl, err := rtg.NewController(design, rtg.Options{})
+	if err != nil {
+		return Measure{}, err
+	}
+	for name, depth := range tc.ArraySizes {
+		words := make([]int64, depth)
+		copy(words, tc.Inputs[name])
+		if err := ctl.LoadMemory(name, words); err != nil {
+			return Measure{}, err
+		}
+	}
+	exec, err := ctl.Execute()
+	if err != nil {
+		return Measure{}, err
+	}
+	if !exec.Completed {
+		return Measure{}, fmt.Errorf("bench: %s: simulation incomplete", tc.Name)
+	}
+	var m Measure
+	for _, run := range exec.Runs {
+		m.Events += run.Events
+		m.Cycles += run.Cycles
+		m.Wall += run.Wall
+	}
+	return m, nil
+}
+
+// --- handcrafted scenario ---------------------------------------------------
+
+// prepareHandcrafted is the examples/handcrafted accumulator scaled to a
+// 4096-word stimulus: a design written directly in the XML dialects,
+// elaborated by netlist with no compiler involved.
+func prepareHandcrafted() (RunFunc, error) {
+	stimulus := make([]int64, 4096)
+	for i := range stimulus {
+		stimulus[i] = int64(i%251 + 1)
+	}
+	dp, fsm := handcraftedDesign()
+	return func() (Measure, error) {
+		sim := hades.NewSimulator()
+		clk := sim.NewSignal("clk", 1)
+		el, err := netlist.Elaborate(sim, clk, dp, fsm, netlist.Options{
+			InitData: map[string][]int64{"src": stimulus},
+		})
+		if err != nil {
+			return Measure{}, err
+		}
+		start := time.Now()
+		rr, err := el.RunToCompletion(10, 1_000_000)
+		if err != nil {
+			return Measure{}, err
+		}
+		wall := time.Since(start)
+		if !rr.Completed {
+			return Measure{}, fmt.Errorf("bench: handcrafted-acc: incomplete after %d cycles", rr.Cycles)
+		}
+		return Measure{Events: sim.Stats().Events, Cycles: rr.Cycles, Wall: wall}, nil
+	}, nil
+}
+
+func handcraftedDesign() (*xmlspec.Datapath, *xmlspec.FSM) {
+	dp := &xmlspec.Datapath{
+		Name:  "acc",
+		Width: 32,
+		Operators: []xmlspec.Operator{
+			{ID: "src", Type: "stim"},
+			{ID: "r_acc", Type: "reg"},
+			{ID: "add0", Type: "add"},
+			{ID: "cap", Type: "sink"},
+		},
+		Connections: []xmlspec.Connection{
+			{From: "r_acc.q", To: "add0.a"},
+			{From: "src.out", To: "add0.b"},
+			{From: "add0.y", To: "r_acc.d"},
+			{From: "r_acc.q", To: "cap.in"},
+		},
+		Controls: []xmlspec.Control{
+			{Name: "en_acc", Targets: []xmlspec.ControlTo{{Port: "r_acc.en"}}},
+			{Name: "en_cap", Targets: []xmlspec.ControlTo{{Port: "cap.en"}}},
+		},
+		Statuses: []xmlspec.Status{
+			{Name: "last", From: "src.last"},
+		},
+	}
+	fsm := &xmlspec.FSM{
+		Name:    "acc_ctl",
+		Inputs:  []xmlspec.FSMSignal{{Name: "last"}},
+		Outputs: []xmlspec.FSMSignal{{Name: "en_acc"}, {Name: "en_cap"}, {Name: "done"}},
+		States: []xmlspec.State{
+			{
+				Name: "RUN", Initial: true,
+				Assigns: []xmlspec.Assign{
+					{Signal: "en_acc", Value: 1},
+					{Signal: "en_cap", Value: 1},
+				},
+				Transitions: []xmlspec.Transition{
+					{Cond: "!last", Next: "RUN"},
+					{Next: "END"},
+				},
+			},
+			{Name: "END", Final: true, Assigns: []xmlspec.Assign{{Signal: "done", Value: 1}}},
+		},
+	}
+	return dp, fsm
+}

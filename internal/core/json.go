@@ -36,17 +36,19 @@ type partitionRecord struct {
 
 // suiteRecord is the trailing summary object of a JSON suite report.
 type suiteRecord struct {
-	Suite       string  `json:"suite"`
-	Cases       int     `json:"cases"`
-	Passed      int     `json:"passed"`
-	Failed      int     `json:"failed"`
-	Skipped     int     `json:"skipped"`
-	Workers     int     `json:"workers"`
-	WallNS      int64   `json:"wall_ns"`
-	MaxCaseNS   int64   `json:"max_case_wall_ns"`
-	TotalEvents uint64  `json:"total_events"`
-	Speedup     float64 `json:"speedup"`
-	OK          bool    `json:"ok"`
+	Suite        string  `json:"suite"`
+	Cases        int     `json:"cases"`
+	Passed       int     `json:"passed"`
+	Failed       int     `json:"failed"`
+	Skipped      int     `json:"skipped"`
+	Workers      int     `json:"workers"`
+	WallNS       int64   `json:"wall_ns"`
+	MaxCaseNS    int64   `json:"max_case_wall_ns"`
+	TotalEvents  uint64  `json:"total_events"`
+	SimWallNS    int64   `json:"sim_wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	OK           bool    `json:"ok"`
 }
 
 // WriteJSON emits one JSON object per case in case order, followed by a
@@ -95,16 +97,18 @@ func (s *SuiteResult) WriteJSON(w io.Writer) error {
 	}
 	passed, failed := s.Counts()
 	return enc.Encode(suiteRecord{
-		Suite:       s.Name,
-		Cases:       len(s.Results),
-		Passed:      passed,
-		Failed:      failed,
-		Skipped:     s.Skipped(),
-		Workers:     s.Workers,
-		WallNS:      s.Wall.Nanoseconds(),
-		MaxCaseNS:   s.MaxCaseWall.Nanoseconds(),
-		TotalEvents: s.TotalEvents,
-		Speedup:     s.Speedup,
-		OK:          s.Passed(),
+		Suite:        s.Name,
+		Cases:        len(s.Results),
+		Passed:       passed,
+		Failed:       failed,
+		Skipped:      s.Skipped(),
+		Workers:      s.Workers,
+		WallNS:       s.Wall.Nanoseconds(),
+		MaxCaseNS:    s.MaxCaseWall.Nanoseconds(),
+		TotalEvents:  s.TotalEvents,
+		SimWallNS:    s.TotalSimWall.Nanoseconds(),
+		EventsPerSec: s.EventsPerSec,
+		Speedup:      s.Speedup,
+		OK:           s.Passed(),
 	})
 }

@@ -132,10 +132,14 @@ func (s *SuiteResult) aggregate() {
 			continue
 		}
 		s.TotalEvents += r.Events()
+		s.TotalSimWall += r.SimWall
 		sum += r.Wall
 		if r.Wall > s.MaxCaseWall {
 			s.MaxCaseWall = r.Wall
 		}
+	}
+	if s.TotalSimWall > 0 {
+		s.EventsPerSec = float64(s.TotalEvents) / s.TotalSimWall.Seconds()
 	}
 	if s.Wall > 0 {
 		s.Speedup = float64(sum) / float64(s.Wall)

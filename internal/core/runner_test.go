@@ -30,6 +30,7 @@ func normalizeReport(s string) string {
 	s = durationRE.ReplaceAllString(s, "T")
 	s = regexp.MustCompile(`speedup \d+(\.\d+)?x`).ReplaceAllString(s, "speedup Sx")
 	s = regexp.MustCompile(`workers: \d+`).ReplaceAllString(s, "workers: N")
+	s = regexp.MustCompile(`kernel \d+ events/sec`).ReplaceAllString(s, "kernel E events/sec")
 	return s
 }
 
@@ -240,6 +241,12 @@ func TestSuiteResultAggregates(t *testing.T) {
 	if res.Speedup <= 0 {
 		t.Fatalf("Speedup=%v", res.Speedup)
 	}
+	if res.TotalSimWall <= 0 {
+		t.Fatalf("TotalSimWall=%v", res.TotalSimWall)
+	}
+	if want := float64(res.TotalEvents) / res.TotalSimWall.Seconds(); res.EventsPerSec != want {
+		t.Fatalf("EventsPerSec=%v want %v", res.EventsPerSec, want)
+	}
 	for _, r := range res.Results {
 		if r.Wall <= 0 {
 			t.Fatalf("case %s has no wall time", r.Name)
@@ -273,5 +280,8 @@ func TestSuiteWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], `"ok":false`) || !strings.Contains(lines[2], `"workers":2`) {
 		t.Errorf("summary: %s", lines[2])
+	}
+	if !strings.Contains(lines[2], `"events_per_sec"`) || !strings.Contains(lines[2], `"sim_wall_ns"`) {
+		t.Errorf("summary missing kernel throughput stats: %s", lines[2])
 	}
 }

@@ -20,13 +20,15 @@ type Suite struct {
 
 // SuiteResult aggregates a suite run.
 type SuiteResult struct {
-	Name        string
-	Results     []*CaseResult
-	Wall        time.Duration
-	Workers     int           // worker-pool size the suite ran with
-	TotalEvents uint64        // kernel events summed over every case
-	MaxCaseWall time.Duration // slowest single case (the parallel critical path)
-	Speedup     float64       // sum of case walls / suite wall
+	Name         string
+	Results      []*CaseResult
+	Wall         time.Duration
+	Workers      int           // worker-pool size the suite ran with
+	TotalEvents  uint64        // kernel events summed over every case
+	TotalSimWall time.Duration // kernel wall time summed over every case
+	EventsPerSec float64       // kernel throughput: TotalEvents / TotalSimWall
+	MaxCaseWall  time.Duration // slowest single case (the parallel critical path)
+	Speedup      float64       // sum of case walls / suite wall
 }
 
 // Passed reports whether every case passed. An empty suite reports
@@ -101,8 +103,8 @@ func (s *SuiteResult) Report(w io.Writer) {
 		fmt.Fprintf(w, " (%d skipped)", n)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "workers: %d, events: %d, max case %v, speedup %.2fx\n",
-		s.Workers, s.TotalEvents, s.MaxCaseWall.Round(time.Millisecond), s.Speedup)
+	fmt.Fprintf(w, "workers: %d, events: %d, kernel %.0f events/sec, max case %v, speedup %.2fx\n",
+		s.Workers, s.TotalEvents, s.EventsPerSec, s.MaxCaseWall.Round(time.Millisecond), s.Speedup)
 }
 
 func indent(s, pad string) string {

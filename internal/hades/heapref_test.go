@@ -1,0 +1,141 @@
+package hades
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file keeps the seed's binary-heap kernel alive as a test-only
+// reference model. The two-level-queue kernel must order events exactly
+// like the heap did — (time, delta, insertion) — so the property tests
+// replay identical schedules on both and compare the full reaction
+// traces, and the benchmarks report the speedup of the redesign against
+// the original on the same pinned scenarios.
+//
+// The reference has its own tiny signal/reactor types so that it stays
+// byte-for-byte faithful to the seed's scheduling loop (container/heap
+// with per-push boxing, per-event pops, sort.Slice per delta) without
+// entangling the production Simulator API.
+
+type refEvent struct {
+	at    Time
+	delta int
+	seq   uint64
+	sig   *refSignal
+	val   uint64
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].delta != h[j].delta {
+		return h[i].delta < h[j].delta
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type refSignal struct {
+	width     int
+	val       uint64
+	valid     bool
+	listeners []*refReactor
+}
+
+func (s *refSignal) Uint() uint64 { return s.val }
+
+type refReactor struct {
+	id int
+	fn func()
+}
+
+type heapSim struct {
+	now     Time
+	delta   int
+	seq     uint64
+	queue   refHeap
+	stopped bool
+
+	maxDeltas int
+	events    uint64
+	deltas    uint64
+	instants  uint64
+
+	pending map[*refReactor]bool
+	order   []*refReactor
+}
+
+func newHeapSim() *heapSim {
+	return &heapSim{maxDeltas: 10000, pending: map[*refReactor]bool{}}
+}
+
+func (s *heapSim) newSignal(width int) *refSignal { return &refSignal{width: width} }
+
+func (s *heapSim) set(sig *refSignal, val uint64, delay Time) {
+	s.seq++
+	e := refEvent{at: s.now + delay, seq: s.seq, sig: sig, val: Mask(val, sig.width)}
+	if delay == 0 {
+		e.delta = s.delta + 1
+	}
+	heap.Push(&s.queue, e)
+}
+
+// run is the seed Simulator.Run loop, verbatim modulo renamed types.
+func (s *heapSim) run(limit Time) (Time, error) {
+	for len(s.queue) > 0 && !s.stopped {
+		at, delta := s.queue[0].at, s.queue[0].delta
+		if at > limit {
+			return s.now, nil
+		}
+		if at != s.now {
+			s.instants++
+			s.delta = 0
+		} else if delta > s.maxDeltas {
+			return s.now, ErrMaxDeltas
+		}
+		s.now, s.delta = at, delta
+		s.deltas++
+
+		for k := range s.pending {
+			delete(s.pending, k)
+		}
+		s.order = s.order[:0]
+		for len(s.queue) > 0 && s.queue[0].at == at && s.queue[0].delta == delta {
+			e := heap.Pop(&s.queue).(refEvent)
+			s.events++
+			changed := !e.sig.valid || e.sig.val != e.val
+			e.sig.val = e.val
+			e.sig.valid = true
+			if changed {
+				for _, r := range e.sig.listeners {
+					if !s.pending[r] {
+						s.pending[r] = true
+						s.order = append(s.order, r)
+					}
+				}
+			}
+		}
+
+		sort.Slice(s.order, func(i, j int) bool { return s.order[i].id < s.order[j].id })
+		for _, r := range s.order {
+			delete(s.pending, r)
+			r.fn()
+			if s.stopped {
+				break
+			}
+		}
+	}
+	return s.now, nil
+}

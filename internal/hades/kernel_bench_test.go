@@ -1,0 +1,195 @@
+package hades
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Pinned kernel scenarios, each built identically on the two-level
+// kernel and on the seed heap kernel (heapref_test.go), so
+// `go test -bench . ./internal/hades/...` reports the redesign's
+// events/sec and allocs/op side by side:
+//
+//   ring-near:   64 self-rescheduling rings, periods 2..17 — dense
+//                near-future traffic, lanes only.
+//   delta-storm: 32 three-signal rings with two zero-delay hops per
+//                firing — next-delta FIFO traffic.
+//   far-timers:  128 timers with periods 2000..14300 — every event
+//                detours through the overflow heap and a rebase.
+//   fanout:      one period-4 ring fanning out to 256 listeners that
+//                each schedule a private event — listener-scheduling
+//                heavy with wide batches.
+
+func benchTwoLevel(b *testing.B, window Time, build func(sim *Simulator)) {
+	sim := NewSimulator()
+	build(sim)
+	if _, err := sim.Run(window); err != nil {
+		b.Fatal(err)
+	}
+	start := sim.Stats().Events
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Now() + window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ev := sim.Stats().Events - start
+	b.ReportMetric(float64(ev)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(ev)/float64(b.N), "events/op")
+}
+
+func benchHeapRef(b *testing.B, window Time, build func(hs *heapSim)) {
+	hs := newHeapSim()
+	build(hs)
+	if _, err := hs.run(window); err != nil {
+		b.Fatal(err)
+	}
+	start := hs.events
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hs.run(hs.now + window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ev := hs.events - start
+	b.ReportMetric(float64(ev)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(ev)/float64(b.N), "events/op")
+}
+
+// --- ring-near -------------------------------------------------------------
+
+func ringsNearNew(sim *Simulator) {
+	for k := 0; k < 64; k++ {
+		sig := sim.NewSignal(fmt.Sprintf("ring%d", k), 32)
+		p := Time(k%16 + 2)
+		sig.Listen(&ReactorFunc{Label: "ring", Fn: func(s *Simulator) {
+			s.SetUint(sig, sig.Uint()+1, p)
+		}})
+		sim.SetUint(sig, 1, Time(k%7+1))
+	}
+}
+
+func ringsNearRef(hs *heapSim) {
+	for k := 0; k < 64; k++ {
+		sig := hs.newSignal(32)
+		p := Time(k%16 + 2)
+		r := &refReactor{id: k + 1}
+		r.fn = func() { hs.set(sig, sig.Uint()+1, p) }
+		sig.listeners = append(sig.listeners, r)
+		hs.set(sig, 1, Time(k%7+1))
+	}
+}
+
+// --- delta-storm -----------------------------------------------------------
+
+func deltaStormNew(sim *Simulator) {
+	for k := 0; k < 32; k++ {
+		a := sim.NewSignal(fmt.Sprintf("a%d", k), 32)
+		bb := sim.NewSignal(fmt.Sprintf("b%d", k), 32)
+		c := sim.NewSignal(fmt.Sprintf("c%d", k), 32)
+		p := Time(k%7 + 5)
+		a.Listen(&ReactorFunc{Label: "s0", Fn: func(s *Simulator) { s.SetUint(bb, a.Uint(), 0) }})
+		bb.Listen(&ReactorFunc{Label: "s1", Fn: func(s *Simulator) { s.SetUint(c, bb.Uint(), 0) }})
+		c.Listen(&ReactorFunc{Label: "s2", Fn: func(s *Simulator) { s.SetUint(a, c.Uint()+1, p) }})
+		sim.SetUint(a, 1, Time(k%5+1))
+	}
+}
+
+func deltaStormRef(hs *heapSim) {
+	for k := 0; k < 32; k++ {
+		a := hs.newSignal(32)
+		bb := hs.newSignal(32)
+		c := hs.newSignal(32)
+		p := Time(k%7 + 5)
+		r0 := &refReactor{id: 3*k + 1, fn: func() { hs.set(bb, a.Uint(), 0) }}
+		r1 := &refReactor{id: 3*k + 2, fn: func() { hs.set(c, bb.Uint(), 0) }}
+		r2 := &refReactor{id: 3*k + 3, fn: func() { hs.set(a, c.Uint()+1, p) }}
+		a.listeners = append(a.listeners, r0)
+		bb.listeners = append(bb.listeners, r1)
+		c.listeners = append(c.listeners, r2)
+		hs.set(a, 1, Time(k%5+1))
+	}
+}
+
+// --- far-timers ------------------------------------------------------------
+
+func farTimersNew(sim *Simulator) {
+	for k := 0; k < 128; k++ {
+		sig := sim.NewSignal(fmt.Sprintf("t%d", k), 32)
+		p := Time(2000 + k*97)
+		sig.Listen(&ReactorFunc{Label: "timer", Fn: func(s *Simulator) {
+			s.SetUint(sig, sig.Uint()+1, p)
+		}})
+		sim.SetUint(sig, 1, Time(k+1))
+	}
+}
+
+func farTimersRef(hs *heapSim) {
+	for k := 0; k < 128; k++ {
+		sig := hs.newSignal(32)
+		p := Time(2000 + k*97)
+		r := &refReactor{id: k + 1}
+		r.fn = func() { hs.set(sig, sig.Uint()+1, p) }
+		sig.listeners = append(sig.listeners, r)
+		hs.set(sig, 1, Time(k+1))
+	}
+}
+
+// --- fanout ----------------------------------------------------------------
+
+func fanoutNew(sim *Simulator) {
+	drv := sim.NewSignal("drv", 32)
+	drv.Listen(&ReactorFunc{Label: "drv", Fn: func(s *Simulator) {
+		s.SetUint(drv, drv.Uint()+1, 4)
+	}})
+	for k := 0; k < 256; k++ {
+		out := sim.NewSignal(fmt.Sprintf("o%d", k), 32)
+		d := Time(k%4 + 1)
+		drv.Listen(&ReactorFunc{Label: "tap", Fn: func(s *Simulator) {
+			s.SetUint(out, drv.Uint(), d)
+		}})
+	}
+	sim.SetUint(drv, 1, 1)
+}
+
+func fanoutRef(hs *heapSim) {
+	drv := hs.newSignal(32)
+	r := &refReactor{id: 1}
+	r.fn = func() { hs.set(drv, drv.Uint()+1, 4) }
+	drv.listeners = append(drv.listeners, r)
+	for k := 0; k < 256; k++ {
+		out := hs.newSignal(32)
+		d := Time(k%4 + 1)
+		rt := &refReactor{id: k + 2}
+		rt.fn = func() { hs.set(out, drv.Uint(), d) }
+		drv.listeners = append(drv.listeners, rt)
+	}
+	hs.set(drv, 1, 1)
+}
+
+// --- the benchmarks ----------------------------------------------------------
+
+// Window sizes per scenario: far-timers needs a window spanning many
+// timer periods so every iteration actually pops overflow events.
+const (
+	nearWindow = 1000
+	farWindow  = 100000
+)
+
+func BenchmarkKernelTwoLevel(b *testing.B) {
+	b.Run("ring-near", func(b *testing.B) { benchTwoLevel(b, nearWindow, ringsNearNew) })
+	b.Run("delta-storm", func(b *testing.B) { benchTwoLevel(b, nearWindow, deltaStormNew) })
+	b.Run("far-timers", func(b *testing.B) { benchTwoLevel(b, farWindow, farTimersNew) })
+	b.Run("fanout", func(b *testing.B) { benchTwoLevel(b, nearWindow, fanoutNew) })
+}
+
+func BenchmarkKernelHeapRef(b *testing.B) {
+	b.Run("ring-near", func(b *testing.B) { benchHeapRef(b, nearWindow, ringsNearRef) })
+	b.Run("delta-storm", func(b *testing.B) { benchHeapRef(b, nearWindow, deltaStormRef) })
+	b.Run("far-timers", func(b *testing.B) { benchHeapRef(b, farWindow, farTimersRef) })
+	b.Run("fanout", func(b *testing.B) { benchHeapRef(b, nearWindow, fanoutRef) })
+}

@@ -1,10 +1,8 @@
 package hades
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 	"sync/atomic"
 )
 
@@ -29,37 +27,6 @@ func (r *ReactorFunc) Name() string { return r.Label }
 // React invokes the wrapped function.
 func (r *ReactorFunc) React(sim *Simulator) { r.Fn(sim) }
 
-// event is a pending signal update.
-type event struct {
-	at    Time
-	delta int
-	seq   uint64
-	sig   *Signal
-	val   uint64
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].delta != h[j].delta {
-		return h[i].delta < h[j].delta
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Stats accumulates kernel counters; the paper's evaluation reports
 // simulation wall times, which the benchmarks derive while these counters
 // support the ablation experiments.
@@ -80,11 +47,24 @@ var ErrInterrupted = errors.New("hades: run interrupted")
 
 // Simulator is the event-driven kernel. Create with NewSimulator, build
 // signals and reactors, then Run.
+//
+// Events are held in a two-level queue (see queue.go): future instants
+// in time-bucketed lanes backed by an overflow heap, and the zero-delay
+// events of the current instant in a plain FIFO, because a delta cycle
+// at (T, d) can only ever schedule into (T, d+1). The whole batch of an
+// instant or delta is popped in one step with no per-event ordering
+// work.
 type Simulator struct {
 	now   Time
 	delta int
 	seq   uint64
-	queue eventHeap
+	q     eventQueue
+
+	// nextDelta chains the zero-delay events of the current instant in
+	// insertion order; they run as one batch at delta s.delta+1.
+	nextDeltaHead *event
+	nextDeltaTail *event
+	nextDeltaLen  int
 
 	signals  []*Signal
 	stats    Stats
@@ -95,10 +75,11 @@ type Simulator struct {
 	// MaxDeltas bounds delta cycles per instant (default 10000).
 	MaxDeltas int
 
-	// Interrupt, when set, is polled once per simulated instant; when it
-	// returns true, Run stops immediately and returns ErrInterrupted.
-	// Suite runners use it to enforce per-case timeouts and cancellation
-	// without abandoning the goroutine that owns the kernel.
+	// Interrupt, when set, is polled once per simulated instant — on the
+	// time-advance path, never per event — and when it returns true, Run
+	// stops immediately and returns ErrInterrupted. Suite runners use it
+	// to enforce per-case timeouts and cancellation without abandoning
+	// the goroutine that owns the kernel.
 	Interrupt func() bool
 
 	pending map[Reactor]bool // reactors to run this delta
@@ -135,6 +116,9 @@ func (s *Simulator) Now() Time { return s.now }
 // Stats returns a copy of the kernel counters.
 func (s *Simulator) Stats() Stats { return s.stats }
 
+// PendingEvents reports the number of scheduled-but-unapplied events.
+func (s *Simulator) PendingEvents() int { return s.q.len() + s.nextDeltaLen }
+
 // Set schedules sig to take value val after delay ticks. A zero delay
 // schedules for the next delta cycle of the current instant, preserving
 // the evaluate/update separation of an HDL simulator.
@@ -152,11 +136,24 @@ func (s *Simulator) set(sig *Signal, val uint64, delay Time) {
 		panic("hades: negative delay")
 	}
 	s.seq++
-	e := event{at: s.now + delay, seq: s.seq, sig: sig, val: Mask(val, sig.width)}
+	e := s.q.alloc()
+	e.at = s.now + delay
+	e.seq = s.seq
+	e.sig = sig
+	e.val = Mask(val, sig.width)
 	if delay == 0 {
-		e.delta = s.delta + 1
+		// Same instant, next delta: a plain FIFO, because every event
+		// appended here belongs to delta s.delta+1 and seq is monotonic.
+		if s.nextDeltaTail != nil {
+			s.nextDeltaTail.next = e
+		} else {
+			s.nextDeltaHead = e
+		}
+		s.nextDeltaTail = e
+		s.nextDeltaLen++
+		return
 	}
-	heap.Push(&s.queue, e)
+	s.q.schedule(e)
 }
 
 // Drive immediately forces a signal value without an event; intended for
@@ -183,68 +180,110 @@ func (s *Simulator) OnFinish(fn func()) { s.finalize = append(s.finalize, fn) }
 // Run processes events until the queue drains, until time exceeds limit,
 // or until a stop is requested. It returns the time of the last processed
 // instant.
+//
+// The stop flag is re-checked at the top of every batch, before any
+// queue state is read: a reactor that calls RequestStop mid delta cycle
+// ends the run with the remaining same-instant events still queued and
+// no further reactors invoked.
 func (s *Simulator) Run(limit Time) (Time, error) {
 	defer func() {
 		for _, fn := range s.finalize {
 			fn()
 		}
 	}()
-	for len(s.queue) > 0 && !s.stopped {
-		at, delta := s.queue[0].at, s.queue[0].delta
-		if at > limit {
-			return s.now, nil
-		}
-		if at != s.now {
-			if s.Interrupt != nil && s.Interrupt() {
-				return s.now, ErrInterrupted
+	for !s.stopped {
+		// Current instant first: drain the delta chain before time moves.
+		if s.nextDeltaHead != nil {
+			if s.now > limit {
+				return s.now, nil
 			}
-			s.stats.Instants++
-			s.delta = 0
-		} else if delta > s.MaxDeltas {
-			return s.now, fmt.Errorf("%w at t=%s", ErrMaxDeltas, s.now)
-		}
-		s.now, s.delta = at, delta
-		s.stats.Deltas++
-
-		// Phase 1: apply all signal updates of this (time, delta).
-		for k := range s.pending {
-			delete(s.pending, k)
-		}
-		s.order = s.order[:0]
-		for len(s.queue) > 0 && s.queue[0].at == at && s.queue[0].delta == delta {
-			e := heap.Pop(&s.queue).(event)
-			s.stats.Events++
-			changed := !e.sig.valid || e.sig.val != e.val
-			e.sig.val = e.val
-			e.sig.valid = true
-			if changed {
-				e.sig.lastChange = at
-				for _, r := range e.sig.listeners {
-					s.schedule(r)
-				}
+			d := s.delta + 1
+			if d > s.MaxDeltas {
+				return s.now, fmt.Errorf("%w at t=%s", ErrMaxDeltas, s.now)
 			}
+			head := s.nextDeltaHead
+			s.nextDeltaHead, s.nextDeltaTail, s.nextDeltaLen = nil, nil, 0
+			s.delta = d
+			s.runBatch(head)
+			continue
 		}
-
-		// Phase 2: evaluate affected reactors deterministically.
-		sort.Slice(s.order, func(i, j int) bool {
-			return s.reactorID(s.order[i]) < s.reactorID(s.order[j])
-		})
-		for _, r := range s.order {
-			delete(s.pending, r)
-			s.stats.Reactions++
-			r.React(s)
-			if s.stopped {
-				break
-			}
+		at, fromOverflow, ok := s.q.peekTime(limit)
+		if !ok {
+			return s.now, nil // drained, or next instant beyond limit
 		}
+		// Per-instant path: poll cancellation once per time advance,
+		// before the queue commits any window movement to the instant.
+		if s.Interrupt != nil && s.Interrupt() {
+			return s.now, ErrInterrupted
+		}
+		s.q.commitTime(at, fromOverflow)
+		s.stats.Instants++
+		s.now, s.delta = at, 0
+		s.runBatch(s.q.popInstant(at))
 	}
 	return s.now, nil
+}
+
+// runBatch applies one (time, delta) batch of signal updates and then
+// evaluates the affected reactors deterministically.
+func (s *Simulator) runBatch(head *event) {
+	s.stats.Deltas++
+
+	// Phase 1: apply all signal updates of this (time, delta).
+	for k := range s.pending {
+		delete(s.pending, k) // leftovers only after a mid-batch stop
+	}
+	s.order = s.order[:0]
+	for e := head; e != nil; {
+		s.stats.Events++
+		sig := e.sig
+		changed := !sig.valid || sig.val != e.val
+		sig.val = e.val
+		sig.valid = true
+		if changed {
+			sig.lastChange = s.now
+			for _, r := range sig.listeners {
+				s.schedule(r)
+			}
+		}
+		next := e.next
+		s.q.release(e)
+		e = next
+	}
+
+	// Phase 2: evaluate affected reactors deterministically.
+	s.sortOrder()
+	for _, r := range s.order {
+		delete(s.pending, r)
+		s.stats.Reactions++
+		r.React(s)
+		if s.stopped {
+			break
+		}
+	}
 }
 
 func (s *Simulator) schedule(r Reactor) {
 	if !s.pending[r] {
 		s.pending[r] = true
 		s.order = append(s.order, r)
+	}
+}
+
+// sortOrder sorts the pending reactors by id. Batches are small and
+// listeners mostly fire in creation order already, so an insertion sort
+// beats sort.Slice here and — unlike sort.Slice — does not allocate,
+// keeping the steady-state event path allocation-free.
+func (s *Simulator) sortOrder() {
+	for i := 1; i < len(s.order); i++ {
+		r := s.order[i]
+		id := s.reactorID(r)
+		j := i - 1
+		for j >= 0 && s.reactorID(s.order[j]) > id {
+			s.order[j+1] = s.order[j]
+			j--
+		}
+		s.order[j+1] = r
 	}
 }
 
