@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-update bench-go cover lint fmt fmt-check vet ci
+.PHONY: build test quickstart race bench bench-update bench-go cover lint fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -12,20 +12,32 @@ build:
 test:
 	$(GO) test ./...
 
+# quickstart builds and runs the documented public-API entry point
+# (examples/quickstart on the root repro package), so the README's
+# first program can never silently rot.
+quickstart:
+	$(GO) run ./examples/quickstart
+
 race:
 	$(GO) test -race ./internal/core/... ./internal/hades/...
 
-# bench runs the pinned benchmark scenarios, writes BENCH_<name>.json
-# files to bench-out/, and fails on a >25% events/sec regression versus
-# the checked-in baseline (bench/baseline/).
+# bench runs the pinned benchmark scenarios once per registered
+# simulator backend, writes BENCH_<name>.json files to
+# bench-out/<backend>/, and fails on a >25% events/sec regression
+# versus that backend's checked-in baseline (bench/baseline/<backend>/).
 bench:
-	mkdir -p bench-out
-	$(GO) run ./cmd/bench -scenarios pinned -reps 3 -out bench-out \
-		-baseline bench/baseline -threshold 0.25
+	for b in $$($(GO) run ./cmd/bench -list-backends); do \
+		mkdir -p bench-out/$$b; \
+		$(GO) run ./cmd/bench -backend $$b -scenarios pinned -reps 3 \
+			-out bench-out/$$b -baseline bench/baseline/$$b -threshold 0.25 || exit 1; \
+	done
 
-# bench-update refreshes the checked-in baseline on this machine.
+# bench-update refreshes every backend's checked-in baseline on this machine.
 bench-update:
-	$(GO) run ./cmd/bench -scenarios pinned -reps 3 -baseline bench/baseline -update-baseline
+	for b in $$($(GO) run ./cmd/bench -list-backends); do \
+		$(GO) run ./cmd/bench -backend $$b -scenarios pinned -reps 3 \
+			-baseline bench/baseline/$$b -update-baseline || exit 1; \
+	done
 
 # bench-go runs the go-test benchmarks (Table I rows, kernel two-level
 # vs heap reference) once each.
@@ -56,4 +68,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint test race cover bench
+ci: build vet fmt-check lint test quickstart race cover bench

@@ -6,13 +6,13 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/hades"
 	"repro/internal/hdl"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/netlist"
 	"repro/internal/operators"
-	"repro/internal/rtg"
 	"repro/internal/workloads"
 	"repro/internal/xmlspec"
 	"repro/internal/xsl"
@@ -215,18 +215,22 @@ func BenchmarkAblationMonolithicVsPartitioned(b *testing.B) {
 func BenchmarkAblationProbeOverhead(b *testing.B) {
 	tc := fdctTestCase("fdct1", 512, false)
 	design := compileDesign(b, tc)
-	run := func(b *testing.B, observer func(string, *netlist.Elaboration)) {
+	run := func(b *testing.B, opts ...flow.Option) {
+		pipe, err := flow.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := 0; i < b.N; i++ {
-			ctl, err := rtg.NewController(design, rtg.Options{Observer: observer})
+			e, err := pipe.ElaborateDesign(design)
 			if err != nil {
 				b.Fatal(err)
 			}
 			for name, words := range tc.Inputs {
-				if err := ctl.LoadMemory(name, padded(words, tc.ArraySizes[name])); err != nil {
+				if err := e.LoadMemory(name, padded(words, tc.ArraySizes[name])); err != nil {
 					b.Fatal(err)
 				}
 			}
-			res, err := ctl.Execute()
+			res, err := pipe.Simulate(e)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -235,9 +239,9 @@ func BenchmarkAblationProbeOverhead(b *testing.B) {
 			}
 		}
 	}
-	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("bare", func(b *testing.B) { run(b) })
 	b.Run("probe-every-wire", func(b *testing.B) {
-		run(b, func(_ string, el *netlist.Elaboration) { el.ProbeAll(0) })
+		run(b, flow.WithObserver(probeAllObserver{}))
 	})
 }
 
@@ -248,17 +252,21 @@ func BenchmarkAblationGoldenReference(b *testing.B) {
 	tc := fdctTestCase("fdct1", 4096, false)
 	b.Run("simulator", func(b *testing.B) {
 		design := compileDesign(b, tc)
+		pipe, err := flow.New()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := 0; i < b.N; i++ {
-			ctl, err := rtg.NewController(design, rtg.Options{})
+			e, err := pipe.ElaborateDesign(design)
 			if err != nil {
 				b.Fatal(err)
 			}
 			for name, words := range tc.Inputs {
-				if err := ctl.LoadMemory(name, padded(words, tc.ArraySizes[name])); err != nil {
+				if err := e.LoadMemory(name, padded(words, tc.ArraySizes[name])); err != nil {
 					b.Fatal(err)
 				}
 			}
-			if res, err := ctl.Execute(); err != nil || !res.Completed {
+			if res, err := pipe.Simulate(e); err != nil || !res.Completed {
 				b.Fatalf("err=%v", err)
 			}
 		}
@@ -349,3 +357,9 @@ func padded(words []int64, depth int) []int64 {
 	copy(out, words)
 	return out
 }
+
+// probeAllObserver attaches a probe to every wire of each elaborated
+// configuration (the full-observability ablation).
+type probeAllObserver struct{ flow.BaseObserver }
+
+func (probeAllObserver) ConfigElaborated(_ string, el *netlist.Elaboration) { el.ProbeAll(0) }

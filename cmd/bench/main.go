@@ -4,9 +4,11 @@
 // Usage:
 //
 //	bench -list                      # show the scenario registry
+//	bench -list-backends             # show the registered simulator backends
 //	bench                            # run the pinned set, write BENCH_*.json to .
+//	bench -backend heapref           # same scenarios on the heap kernel
 //	bench -scenarios all -out bout   # run everything, write files to bout/
-//	bench -baseline bench/baseline   # after running, fail on >25% events/sec regression
+//	bench -baseline bench/baseline/twolevel  # fail on >25% events/sec regression
 //	bench -update-baseline           # refresh the checked-in baseline instead
 //	bench -reps 5 -json              # more repetitions; JSON lines on stdout
 package main
@@ -19,6 +21,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/bench"
+	"repro/internal/flow"
 )
 
 func main() {
@@ -30,18 +33,29 @@ func main() {
 
 func run() error {
 	var (
-		list      = flag.Bool("list", false, "list scenarios and exit")
-		selector  = flag.String("scenarios", "pinned", "scenarios to run: pinned, all, or comma-separated names")
-		reps      = flag.Int("reps", 3, "timed repetitions per scenario (best events/sec wins)")
-		out       = flag.String("out", ".", "directory for BENCH_<name>.json files")
-		baseline  = flag.String("baseline", "", "baseline directory to compare against (exit 1 on regression)")
-		threshold = flag.Float64("threshold", 0.25, "allowed events/sec regression vs baseline (0.25 = fail below 75%)")
-		update    = flag.Bool("update-baseline", false, "write results into -baseline instead of comparing")
-		asJSON    = flag.Bool("json", false, "emit one JSON object per scenario on stdout")
+		list         = flag.Bool("list", false, "list scenarios and exit")
+		listBackends = flag.Bool("list-backends", false, "list registered simulator backends and exit")
+		backend      = flag.String("backend", flow.DefaultBackend, "simulator backend to run the scenarios on")
+		selector     = flag.String("scenarios", "pinned", "scenarios to run: pinned, all, or comma-separated names")
+		reps         = flag.Int("reps", 3, "timed repetitions per scenario (best events/sec wins)")
+		out          = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		baseline     = flag.String("baseline", "", "baseline directory to compare against (exit 1 on regression)")
+		threshold    = flag.Float64("threshold", 0.25, "allowed events/sec regression vs baseline (0.25 = fail below 75%)")
+		update       = flag.Bool("update-baseline", false, "write results into -baseline instead of comparing")
+		asJSON       = flag.Bool("json", false, "emit one JSON object per scenario on stdout")
 	)
 	flag.Parse()
 
-	all := bench.Scenarios()
+	if *listBackends {
+		for _, name := range flow.Backends() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	if _, err := flow.LookupBackend(*backend); err != nil {
+		return err
+	}
+	all := bench.ScenariosFor(*backend)
 	if *list {
 		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 		for _, sc := range all {

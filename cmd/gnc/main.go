@@ -2,13 +2,14 @@
 // it compiles MiniJ functions into the datapath/fsm/rtg XML dialects
 // and, on request, their dot/java/hds translations, or verifies each
 // compiled function against the golden interpreter with the parallel
-// suite runner.
+// suite runner — all through the flow pipeline API.
 //
 // Usage:
 //
 //	gnc -src fdct.mj -func fdct -size img=4096 -size tmp=4096 \
 //	    -size out=4096 -arg nblocks=64 -out build/ -emit
 //	gnc -src lib.mj -func f,g,h -verify -j 4 -failfast -json
+//	gnc -src lib.mj -func f -verify -backend heapref
 package main
 
 import (
@@ -21,11 +22,8 @@ import (
 	"strings"
 
 	"repro/cmd/internal/cliutil"
-	"repro/internal/compiler"
 	"repro/internal/core"
-	"repro/internal/lang"
-	"repro/internal/xmlspec"
-	"repro/internal/xsl"
+	"repro/internal/flow"
 )
 
 func main() {
@@ -47,10 +45,12 @@ func run() error {
 		sizes    = cliutil.KVInts{}
 		args     = cliutil.KVInt64s{}
 		rf       cliutil.RunnerFlags
+		ff       cliutil.FlowFlags
 	)
 	flag.Var(sizes, "size", "array size: name=depth (repeatable)")
 	flag.Var(args, "arg", "scalar argument: name=value (repeatable)")
 	rf.Register(nil)
+	ff.Register(nil)
 	flag.Parse()
 	if *srcPath == "" || *funcName == "" {
 		flag.Usage()
@@ -60,7 +60,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	prog, err := lang.Parse(string(src))
+	pipe, err := flow.New(append(ff.Options(),
+		flow.WithWidth(*width), flow.WithAutoPartitions(*auto))...)
 	if err != nil {
 		return err
 	}
@@ -77,41 +78,35 @@ func run() error {
 		if len(funcs) > 1 {
 			dir = filepath.Join(*outDir, fn)
 		}
-		res, err := compiler.Compile(prog, fn, compiler.Config{
-			Width:          *width,
-			ArraySizes:     sizes,
-			ScalarArgs:     args,
-			AutoPartitions: *auto,
+		compiled, err := pipe.Compile(flow.Source{
+			Name: fn, Text: string(src), Func: fn,
+			ArraySizes: sizes, ScalarArgs: args,
 		})
 		if err != nil {
 			return err
 		}
-		files, err := xmlspec.SaveDesign(res.Design, dir)
+		files, err := flow.WriteDesignArtifacts(compiled.Design, dir, *emit)
 		if err != nil {
 			return err
 		}
 		for label, path := range files {
 			fmt.Fprintf(info, "%-24s %s\n", label, path)
 		}
-		for _, m := range res.Meta {
+		for _, m := range compiled.Partitions {
 			fmt.Fprintf(info, "%s: datapath=%s operators=%d states=%d\n", m.ID, m.Datapath, m.Operators, m.States)
-		}
-		if *emit {
-			if err := emitTranslations(info, dir, res.Design); err != nil {
-				return err
-			}
 		}
 	}
 	if !*verify {
 		return nil
 	}
-	return verifyFuncs(string(src), funcs, sizes, args, *width, *auto, rf)
+	return verifyFuncs(string(src), funcs, sizes, args, *width, *auto, rf, ff)
 }
 
 // verifyFuncs runs the full compile→simulate→golden-compare flow for
 // each function through the parallel suite runner, the same machinery
 // the testsuite command uses for the regression suite.
-func verifyFuncs(src string, funcs []string, sizes map[string]int, args map[string]int64, width, auto int, rf cliutil.RunnerFlags) error {
+func verifyFuncs(src string, funcs []string, sizes map[string]int, args map[string]int64,
+	width, auto int, rf cliutil.RunnerFlags, ff cliutil.FlowFlags) error {
 	suite := &core.Suite{Name: "gnc-verify"}
 	for _, fn := range funcs {
 		fn = strings.TrimSpace(fn)
@@ -124,7 +119,13 @@ func verifyFuncs(src string, funcs []string, sizes map[string]int, args map[stri
 		})
 	}
 	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
-	res := runner.Run(context.Background(), suite, core.Options{Width: width, AutoPartitions: auto})
+	res := runner.Run(context.Background(), suite, core.Options{
+		Width:          width,
+		AutoPartitions: auto,
+		Backend:        ff.Backend,
+		ClockPeriod:    ff.Period,
+		MaxCycles:      ff.Cycles,
+	})
 	if rf.JSON {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			return err
@@ -134,64 +135,6 @@ func verifyFuncs(src string, funcs []string, sizes map[string]int, args map[stri
 	}
 	if !res.Passed() {
 		return fmt.Errorf("verification failed")
-	}
-	return nil
-}
-
-func emitTranslations(info io.Writer, outDir string, design *xmlspec.Design) error {
-	emitOne := func(name, content string) error {
-		path := filepath.Join(outDir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(info, "%-24s %s\n", "emit", path)
-		return nil
-	}
-	rtgDoc, err := xmlspec.Marshal(design.RTG)
-	if err != nil {
-		return err
-	}
-	if out, err := xsl.TransformBytes(xsl.RTGToDot(), rtgDoc); err != nil {
-		return err
-	} else if err := emitOne("rtg.dot", out); err != nil {
-		return err
-	}
-	if out, err := xsl.TransformBytes(xsl.RTGToJava(), rtgDoc); err != nil {
-		return err
-	} else if err := emitOne("rtg.java", out); err != nil {
-		return err
-	}
-	for name, dp := range design.Datapaths {
-		doc, err := xmlspec.Marshal(dp)
-		if err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.DatapathToDot(), doc); err != nil {
-			return err
-		} else if err := emitOne(name+".dot", out); err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.DatapathToHDS(), doc); err != nil {
-			return err
-		} else if err := emitOne(name+".hds", out); err != nil {
-			return err
-		}
-	}
-	for name, fsm := range design.FSMs {
-		doc, err := xmlspec.Marshal(fsm)
-		if err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.FSMToDot(), doc); err != nil {
-			return err
-		} else if err := emitOne(name+".dot", out); err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.FSMToJava(), doc); err != nil {
-			return err
-		} else if err := emitOne(name+".java", out); err != nil {
-			return err
-		}
 	}
 	return nil
 }

@@ -1,11 +1,13 @@
 // Command hsim simulates a compiled design: it loads the rtg.xml bundle
 // written by gnc, seeds the shared memories from .mem files, executes
-// the reconfiguration flow on the event-driven kernel, and writes the
-// resulting memory contents back next to the inputs.
+// the reconfiguration flow through the flow pipeline on a selectable
+// simulator backend, and writes the resulting memory contents back next
+// to the inputs. Per-configuration progress is streamed as it happens.
 //
 // Usage:
 //
 //	hsim -design build/ -mem img=img.mem -cycles 10000000 -vcd waves
+//	hsim -design build/ -backend heapref
 package main
 
 import (
@@ -15,10 +17,8 @@ import (
 	"path/filepath"
 
 	"repro/cmd/internal/cliutil"
-	"repro/internal/hades"
+	"repro/internal/flow"
 	"repro/internal/memfile"
-	"repro/internal/netlist"
-	"repro/internal/rtg"
 	"repro/internal/xmlspec"
 )
 
@@ -32,41 +32,27 @@ func main() {
 func run() error {
 	var (
 		designDir = flag.String("design", "build", "directory holding rtg.xml and companions")
-		cycles    = flag.Uint64("cycles", 10_000_000, "cycle cap per configuration")
-		period    = flag.Int64("period", 10, "clock period in simulator ticks")
 		vcdPrefix = flag.String("vcd", "", "dump VCD waveforms to <prefix>.<cfg>.vcd")
 		mems      = cliutil.KVStrings{}
+		ff        cliutil.FlowFlags
 	)
 	flag.Var(mems, "mem", "shared memory contents: name=file (repeatable)")
+	ff.Register(nil)
 	flag.Parse()
 
 	design, err := xmlspec.LoadDesign(*designDir)
 	if err != nil {
 		return err
 	}
-	opts := rtg.Options{ClockPeriod: hades.Time(*period), MaxCycles: *cycles}
-	var vcdFiles []*os.File
-	defer func() {
-		for _, f := range vcdFiles {
-			f.Close()
-		}
-	}()
+	opts := append(ff.Options(), flow.WithObserver(flow.NewProgressObserver(os.Stdout)))
 	if *vcdPrefix != "" {
-		opts.Observer = func(cfgID string, el *netlist.Elaboration) {
-			path := fmt.Sprintf("%s.%s.vcd", *vcdPrefix, cfgID)
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "hsim: vcd:", err)
-				return
-			}
-			vcdFiles = append(vcdFiles, f)
-			w := hades.NewVCDWriter(f)
-			w.AddAll(el.Sim)
-			w.Header(cfgID)
-			fmt.Println("vcd:", path)
-		}
+		opts = append(opts, flow.WithObserver(flow.NewVCDObserver(*vcdPrefix, os.Stdout)))
 	}
-	ctl, err := rtg.NewController(design, opts)
+	pipe, err := flow.New(opts...)
+	if err != nil {
+		return err
+	}
+	el, err := pipe.ElaborateDesign(design)
 	if err != nil {
 		return err
 	}
@@ -87,30 +73,22 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := ctl.LoadMemory(m.ID, words); err != nil {
+		if err := el.LoadMemory(m.ID, words); err != nil {
 			return err
 		}
 		fmt.Printf("loaded %s from %s (%d words)\n", m.ID, path, m.Depth)
 	}
 
-	res, err := ctl.Execute()
+	res, err := pipe.Simulate(el)
 	if err != nil {
 		return err
 	}
-	for _, run := range res.Runs {
-		fmt.Printf("configuration %-8s cycles=%-8d events=%-10d final=%-6s wall=%v\n",
-			run.ID, run.Cycles, run.Events, run.FinalState, run.Wall)
-	}
 	if !res.Completed {
-		return fmt.Errorf("simulation incomplete (cycle cap %d)", *cycles)
+		return fmt.Errorf("simulation incomplete (cycle cap %d)", ff.Cycles)
 	}
-	for _, id := range ctl.MemoryIDs() {
-		words, err := ctl.Memory(id)
-		if err != nil {
-			return err
-		}
+	for _, id := range el.MemoryIDs() {
 		out := filepath.Join(*designDir, id+".out.mem")
-		if err := memfile.Save(out, words, "simulated contents of "+id); err != nil {
+		if err := memfile.Save(out, res.Memories[id], "simulated contents of "+id); err != nil {
 			return err
 		}
 		fmt.Println("wrote", out)

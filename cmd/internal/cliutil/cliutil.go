@@ -8,7 +8,43 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/flow"
+	"repro/internal/hades"
 )
+
+// FlowFlags bundles the pipeline flags shared by the tools that
+// simulate designs (hsim, gnc, testsuite): simulator backend, clock
+// period and cycle cap. The flag defaults are the flow defaults — the
+// single source of truth — so every tool observes the same values.
+type FlowFlags struct {
+	Backend string
+	Period  int64
+	Cycles  uint64
+}
+
+// Register installs the flags on fs (the default flag.CommandLine when
+// fs is nil).
+func (f *FlowFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Backend, "backend", flow.DefaultBackend,
+		"simulator backend: "+strings.Join(flow.Backends(), ", "))
+	fs.Int64Var(&f.Period, "period", int64(flow.DefaultClockPeriod),
+		"clock period in simulator ticks")
+	fs.Uint64Var(&f.Cycles, "cycles", flow.DefaultMaxCycles,
+		"cycle cap per configuration")
+}
+
+// Options renders the parsed flags as flow options.
+func (f *FlowFlags) Options() []flow.Option {
+	return []flow.Option{
+		flow.WithBackend(f.Backend),
+		flow.WithClock(hades.Time(f.Period)),
+		flow.WithMaxCycles(f.Cycles),
+	}
+}
 
 // RunnerFlags bundles the suite-execution flags shared by the tools that
 // run regression cases (testsuite, gnc -verify): worker count, per-case
@@ -40,9 +76,9 @@ func (m KVInts) String() string { return fmt.Sprint(map[string]int(m)) }
 
 // Set parses one name=int pair.
 func (m KVInts) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("expected name=value, got %q", s)
+	name, val, err := splitKV(s)
+	if err != nil {
+		return err
 	}
 	v, err := strconv.Atoi(val)
 	if err != nil {
@@ -60,9 +96,9 @@ func (m KVInt64s) String() string { return fmt.Sprint(map[string]int64(m)) }
 
 // Set parses one name=int64 pair.
 func (m KVInt64s) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("expected name=value, got %q", s)
+	name, val, err := splitKV(s)
+	if err != nil {
+		return err
 	}
 	v, err := strconv.ParseInt(val, 0, 64)
 	if err != nil {
@@ -80,10 +116,22 @@ func (m KVStrings) String() string { return fmt.Sprint(map[string]string(m)) }
 
 // Set parses one name=string pair.
 func (m KVStrings) Set(s string) error {
-	name, val, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("expected name=value, got %q", s)
+	name, val, err := splitKV(s)
+	if err != nil {
+		return err
 	}
 	m[name] = val
 	return nil
+}
+
+// splitKV parses one name=value pair, rejecting empty names.
+func splitKV(s string) (name, val string, err error) {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", "", fmt.Errorf("expected name=value, got %q", s)
+	}
+	if name == "" {
+		return "", "", fmt.Errorf("empty name in %q", s)
+	}
+	return name, val, nil
 }

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/flow"
 )
 
 func TestRunnerFlagsDefaults(t *testing.T) {
@@ -81,5 +83,76 @@ func TestKVStrings(t *testing.T) {
 	}
 	if err := m.Set("noval"); err == nil {
 		t.Error("missing = must fail")
+	}
+}
+
+func TestFlowFlagsDefaultsAreTheFlowDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var ff FlowFlags
+	ff.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ff.Backend != flow.DefaultBackend {
+		t.Errorf("Backend=%q want %q", ff.Backend, flow.DefaultBackend)
+	}
+	if ff.Period != int64(flow.DefaultClockPeriod) {
+		t.Errorf("Period=%d want %d", ff.Period, flow.DefaultClockPeriod)
+	}
+	if ff.Cycles != flow.DefaultMaxCycles {
+		t.Errorf("Cycles=%d want %d", ff.Cycles, flow.DefaultMaxCycles)
+	}
+	// The rendered options resolve to exactly the flags' values.
+	p, err := flow.New(ff.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.ClockPeriod != flow.DefaultClockPeriod || cfg.MaxCycles != flow.DefaultMaxCycles ||
+		cfg.Backend != flow.DefaultBackend {
+		t.Fatalf("resolved config %+v diverges from flow defaults", cfg)
+	}
+}
+
+func TestFlowFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var ff FlowFlags
+	ff.Register(fs)
+	if err := fs.Parse([]string{"-backend", "heapref", "-period", "4", "-cycles", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := flow.New(ff.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.Config()
+	if cfg.Backend != "heapref" || cfg.ClockPeriod != 4 || cfg.MaxCycles != 99 {
+		t.Fatalf("cfg=%+v", cfg)
+	}
+	if _, err := flow.New(flow.WithBackend("bogus")); err == nil {
+		t.Fatal("bogus backend must fail pipeline construction")
+	}
+}
+
+func TestKVMalformedInputs(t *testing.T) {
+	for _, bad := range []string{"", "=", "=5", "noequals", "a=", "a=notanum", "a=99999999999999999999"} {
+		if err := (KVInts{}).Set(bad); err == nil {
+			t.Errorf("KVInts.Set(%q) must fail", bad)
+		}
+	}
+	for _, bad := range []string{"", "=", "=5", "noequals", "a=", "a=zz", "a=99999999999999999999"} {
+		if err := (KVInt64s{}).Set(bad); err == nil {
+			t.Errorf("KVInt64s.Set(%q) must fail", bad)
+		}
+	}
+	for _, bad := range []string{"", "=x", "noequals"} {
+		if err := (KVStrings{}).Set(bad); err == nil {
+			t.Errorf("KVStrings.Set(%q) must fail", bad)
+		}
+	}
+	// Values may legitimately contain '=' after the first split.
+	m := KVStrings{}
+	if err := m.Set("k=a=b"); err != nil || m["k"] != "a=b" {
+		t.Fatalf("m=%v err=%v", m, err)
 	}
 }

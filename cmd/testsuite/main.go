@@ -8,6 +8,7 @@
 //	testsuite -j 4            # shard the cases across 4 workers
 //	testsuite -json           # one JSON object per case (CI artifacts)
 //	testsuite -failfast -timeout 30s
+//	testsuite -backend heapref # run the whole suite on the heap kernel
 //	testsuite -table1         # reproduce Table I (FDCT1/FDCT2/Hamming)
 //	testsuite -pixels 65536   # Table I FDCTs over a larger image
 package main
@@ -38,11 +39,19 @@ func run() error {
 		words   = flag.Int("words", 64, "Hamming codeword count")
 		workDir = flag.String("workdir", "", "write XML/dot/java/hds/mem artifacts here")
 		rf      cliutil.RunnerFlags
+		ff      cliutil.FlowFlags
 	)
 	rf.Register(nil)
+	ff.Register(nil)
 	flag.Parse()
 
-	opts := core.Options{WorkDir: *workDir, EmitArtifacts: *workDir != ""}
+	opts := core.Options{
+		WorkDir:       *workDir,
+		EmitArtifacts: *workDir != "",
+		Backend:       ff.Backend,
+		ClockPeriod:   ff.Period,
+		MaxCycles:     ff.Cycles,
+	}
 	suite := regressionSuite(*pixels, *words)
 	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
 	if *table1 {

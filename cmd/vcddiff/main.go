@@ -8,40 +8,58 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/vcd"
 )
 
 func main() {
-	max := flag.Int("max", 20, "maximum differences to report (0 = all)")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: vcddiff [-max N] <a.vcd> <b.vcd>")
+	diffs, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed, clean exit
+		}
+		fmt.Fprintln(os.Stderr, "vcddiff:", err)
 		os.Exit(2)
 	}
-	a, err := load(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vcddiff:", err)
+	if diffs > 0 {
 		os.Exit(1)
 	}
-	b, err := load(flag.Arg(1))
+}
+
+// run compares the two dumps named by args and reports the number of
+// differences printed.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("vcddiff", flag.ContinueOnError)
+	max := fs.Int("max", 20, "maximum differences to report (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	if fs.NArg() != 2 {
+		return 0, fmt.Errorf("usage: vcddiff [-max N] <a.vcd> <b.vcd>")
+	}
+	a, err := load(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vcddiff:", err)
-		os.Exit(1)
+		return 0, err
+	}
+	b, err := load(fs.Arg(1))
+	if err != nil {
+		return 0, err
 	}
 	diffs := vcd.Compare(a, b, *max)
 	if len(diffs) == 0 {
-		fmt.Printf("identical signal activity (%d signals, up to t=%d)\n", len(a.Names()), a.End)
-		return
+		fmt.Fprintf(out, "identical signal activity (%d signals, up to t=%d)\n", len(a.Names()), a.End)
+		return 0, nil
 	}
 	for _, d := range diffs {
-		fmt.Println(d)
+		fmt.Fprintln(out, d)
 	}
-	fmt.Printf("%d difference(s)\n", len(diffs))
-	os.Exit(1)
+	fmt.Fprintf(out, "%d difference(s)\n", len(diffs))
+	return len(diffs), nil
 }
 
 func load(path string) (*vcd.Dump, error) {

@@ -1,5 +1,6 @@
 // Command xml2dot translates any of the three XML dialects to Graphviz
-// dot on stdout — the paper's "to dotty" arrows.
+// dot on stdout — the paper's "to dotty" arrows, through the flow
+// translation layer.
 //
 // Usage:
 //
@@ -7,43 +8,43 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/xsl"
+	"repro/internal/flow"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed, clean exit
+		}
 		fmt.Fprintln(os.Stderr, "xml2dot:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	in := flag.String("in", "", "input XML file (datapath, fsm or rtg)")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xml2dot", flag.ContinueOnError)
+	in := fs.String("in", "", "input XML file (datapath, fsm or rtg)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("-in is required")
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	root, err := xsl.Parse(data)
+	dot, err := flow.TranslateDocument(data, "dot")
 	if err != nil {
 		return err
 	}
-	sheet, err := xsl.ForDocument(root)
-	if err != nil {
-		return err
-	}
-	out, err := xsl.Transform(sheet, root)
-	if err != nil {
-		return err
-	}
-	_, err = os.Stdout.WriteString(out)
+	_, err = io.WriteString(out, dot)
 	return err
 }

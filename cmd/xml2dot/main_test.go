@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlspec"
+)
+
+// The fixtures mirror examples/handcrafted: the stimulus-fed
+// accumulator datapath and its two-state controller, written through
+// the same XML dialects the example validates against.
+func writeHandcrafted(t *testing.T) (dpPath, fsmPath string) {
+	t.Helper()
+	dp := &xmlspec.Datapath{
+		Name:  "acc",
+		Width: 32,
+		Operators: []xmlspec.Operator{
+			{ID: "src", Type: "stim"},
+			{ID: "r_acc", Type: "reg"},
+			{ID: "add0", Type: "add"},
+			{ID: "cap", Type: "sink"},
+		},
+		Connections: []xmlspec.Connection{
+			{From: "r_acc.q", To: "add0.a"},
+			{From: "src.out", To: "add0.b"},
+			{From: "add0.y", To: "r_acc.d"},
+			{From: "r_acc.q", To: "cap.in"},
+		},
+		Controls: []xmlspec.Control{
+			{Name: "en_acc", Targets: []xmlspec.ControlTo{{Port: "r_acc.en"}}},
+			{Name: "en_cap", Targets: []xmlspec.ControlTo{{Port: "cap.en"}}},
+		},
+		Statuses: []xmlspec.Status{{Name: "last", From: "src.last"}},
+	}
+	fsm := &xmlspec.FSM{
+		Name:    "acc_ctl",
+		Inputs:  []xmlspec.FSMSignal{{Name: "last"}},
+		Outputs: []xmlspec.FSMSignal{{Name: "en_acc"}, {Name: "en_cap"}, {Name: "done"}},
+		States: []xmlspec.State{
+			{
+				Name: "RUN", Initial: true,
+				Assigns: []xmlspec.Assign{
+					{Signal: "en_acc", Value: 1},
+					{Signal: "en_cap", Value: 1},
+				},
+				Transitions: []xmlspec.Transition{
+					{Cond: "!last", Next: "RUN"},
+					{Next: "END"},
+				},
+			},
+			{Name: "END", Final: true, Assigns: []xmlspec.Assign{{Signal: "done", Value: 1}}},
+		},
+	}
+	dir := t.TempDir()
+	dpDoc, err := xmlspec.Marshal(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsmDoc, err := xmlspec.Marshal(fsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpPath = filepath.Join(dir, "acc.dp.xml")
+	fsmPath = filepath.Join(dir, "acc_ctl.fsm.xml")
+	if err := os.WriteFile(dpPath, dpDoc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fsmPath, fsmDoc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dpPath, fsmPath
+}
+
+func TestXML2DotSmoke(t *testing.T) {
+	dpPath, fsmPath := writeHandcrafted(t)
+	for _, path := range []string{dpPath, fsmPath} {
+		var sb strings.Builder
+		if err := run([]string{"-in", path}, &sb); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "digraph") {
+			t.Errorf("%s: output is not dot:\n%s", path, out)
+		}
+	}
+	// The datapath graph must mention its operators.
+	var sb strings.Builder
+	if err := run([]string{"-in", dpPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"r_acc", "add0", "cap"} {
+		if !strings.Contains(sb.String(), node) {
+			t.Errorf("dot output lacks operator %q", node)
+		}
+	}
+}
+
+func TestXML2DotErrors(t *testing.T) {
+	if err := run([]string{}, &strings.Builder{}); err == nil {
+		t.Error("missing -in must fail")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope.xml")}, &strings.Builder{}); err == nil {
+		t.Error("unreadable input must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.xml")
+	if err := os.WriteFile(bad, []byte("<mystery/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}, &strings.Builder{}); err == nil {
+		t.Error("unknown document root must fail")
+	}
+}

@@ -1,6 +1,7 @@
 // Command xml2hdl translates a datapath or fsm XML document into VHDL,
 // Verilog, behavioural Java or the hds simulator text — the
-// user-extensible translation layer of the infrastructure.
+// user-extensible translation layer of the infrastructure, dispatched
+// through flow.TranslateDocument.
 //
 // Usage:
 //
@@ -8,89 +9,44 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/hdl"
-	"repro/internal/xmlspec"
-	"repro/internal/xsl"
+	"repro/internal/flow"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed, clean exit
+		}
 		fmt.Fprintln(os.Stderr, "xml2hdl:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	in := flag.String("in", "", "input XML file (datapath or fsm)")
-	lang := flag.String("lang", "vhdl", "target: vhdl, verilog, java, hds")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xml2hdl", flag.ContinueOnError)
+	in := fs.String("in", "", "input XML file (datapath or fsm)")
+	lang := fs.String("lang", "vhdl", "target: vhdl, verilog, java, hds, dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("-in is required")
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	root, err := xsl.Parse(data)
+	res, err := flow.TranslateDocument(data, *lang)
 	if err != nil {
 		return err
 	}
-	var out string
-	switch root.Name {
-	case "datapath":
-		dp, err := xmlspec.ParseDatapath(data)
-		if err != nil {
-			return err
-		}
-		switch *lang {
-		case "vhdl":
-			out, err = hdl.VHDLDatapath(dp, nil)
-		case "verilog":
-			out, err = hdl.VerilogDatapath(dp, nil)
-		case "hds":
-			out, err = xsl.TransformBytes(xsl.DatapathToHDS(), data)
-		default:
-			return fmt.Errorf("datapath documents translate to vhdl, verilog or hds (not %q)", *lang)
-		}
-		if err != nil {
-			return err
-		}
-	case "fsm":
-		f, err := xmlspec.ParseFSM(data)
-		if err != nil {
-			return err
-		}
-		switch *lang {
-		case "vhdl":
-			out, err = hdl.VHDLFSM(f)
-		case "verilog":
-			out, err = hdl.VerilogFSM(f)
-		case "java":
-			out, err = xsl.TransformBytes(xsl.FSMToJava(), data)
-		default:
-			return fmt.Errorf("fsm documents translate to vhdl, verilog or java (not %q)", *lang)
-		}
-		if err != nil {
-			return err
-		}
-	case "rtg":
-		switch *lang {
-		case "java":
-			out, err = xsl.TransformBytes(xsl.RTGToJava(), data)
-			if err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("rtg documents translate to java (not %q)", *lang)
-		}
-	default:
-		return fmt.Errorf("unknown document root %q", root.Name)
-	}
-	_, err = os.Stdout.WriteString(out)
+	_, err = io.WriteString(out, res)
 	return err
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlspec"
+)
+
+// writeHandcrafted mirrors the examples/handcrafted accumulator in the
+// XML dialects (see cmd/xml2dot's twin fixture).
+func writeHandcrafted(t *testing.T) (dpPath, fsmPath string) {
+	t.Helper()
+	dp := &xmlspec.Datapath{
+		Name:  "acc",
+		Width: 32,
+		Operators: []xmlspec.Operator{
+			{ID: "src", Type: "stim"},
+			{ID: "r_acc", Type: "reg"},
+			{ID: "add0", Type: "add"},
+			{ID: "cap", Type: "sink"},
+		},
+		Connections: []xmlspec.Connection{
+			{From: "r_acc.q", To: "add0.a"},
+			{From: "src.out", To: "add0.b"},
+			{From: "add0.y", To: "r_acc.d"},
+			{From: "r_acc.q", To: "cap.in"},
+		},
+		Controls: []xmlspec.Control{
+			{Name: "en_acc", Targets: []xmlspec.ControlTo{{Port: "r_acc.en"}}},
+			{Name: "en_cap", Targets: []xmlspec.ControlTo{{Port: "cap.en"}}},
+		},
+		Statuses: []xmlspec.Status{{Name: "last", From: "src.last"}},
+	}
+	fsm := &xmlspec.FSM{
+		Name:    "acc_ctl",
+		Inputs:  []xmlspec.FSMSignal{{Name: "last"}},
+		Outputs: []xmlspec.FSMSignal{{Name: "en_acc"}, {Name: "en_cap"}, {Name: "done"}},
+		States: []xmlspec.State{
+			{
+				Name: "RUN", Initial: true,
+				Assigns: []xmlspec.Assign{
+					{Signal: "en_acc", Value: 1},
+					{Signal: "en_cap", Value: 1},
+				},
+				Transitions: []xmlspec.Transition{
+					{Cond: "!last", Next: "RUN"},
+					{Next: "END"},
+				},
+			},
+			{Name: "END", Final: true, Assigns: []xmlspec.Assign{{Signal: "done", Value: 1}}},
+		},
+	}
+	dir := t.TempDir()
+	dpDoc, err := xmlspec.Marshal(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsmDoc, err := xmlspec.Marshal(fsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpPath = filepath.Join(dir, "acc.dp.xml")
+	fsmPath = filepath.Join(dir, "acc_ctl.fsm.xml")
+	if err := os.WriteFile(dpPath, dpDoc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fsmPath, fsmDoc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dpPath, fsmPath
+}
+
+func TestXML2HDLSmoke(t *testing.T) {
+	dpPath, fsmPath := writeHandcrafted(t)
+	cases := []struct {
+		in, lang, marker string
+	}{
+		{dpPath, "vhdl", "entity"},
+		{dpPath, "verilog", "module"},
+		{dpPath, "hds", "[design]"},
+		{dpPath, "dot", "digraph"},
+		{fsmPath, "vhdl", "entity"},
+		{fsmPath, "verilog", "module"},
+		{fsmPath, "java", "public class"},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		if err := run([]string{"-in", c.in, "-lang", c.lang}, &sb); err != nil {
+			t.Errorf("%s -lang %s: %v", filepath.Base(c.in), c.lang, err)
+			continue
+		}
+		if !strings.Contains(sb.String(), c.marker) {
+			t.Errorf("%s -lang %s: output lacks %q", filepath.Base(c.in), c.lang, c.marker)
+		}
+	}
+}
+
+func TestXML2HDLErrors(t *testing.T) {
+	dpPath, fsmPath := writeHandcrafted(t)
+	if err := run([]string{}, &strings.Builder{}); err == nil {
+		t.Error("missing -in must fail")
+	}
+	if err := run([]string{"-in", dpPath, "-lang", "java"}, &strings.Builder{}); err == nil {
+		t.Error("datapath-to-java must be rejected")
+	}
+	if err := run([]string{"-in", fsmPath, "-lang", "hds"}, &strings.Builder{}); err == nil {
+		t.Error("fsm-to-hds must be rejected")
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"repro/internal/cosim"
-	"repro/internal/rtg"
 )
 
 const encodeSrc = `
@@ -79,7 +78,7 @@ func main() {
 	if err := sys.RunSoftware(encodeSrc, "encode", args); err != nil {
 		log.Fatal(err)
 	}
-	if err := sys.RunHardware(decodeHW, "decode", args, rtg.Options{}); err != nil {
+	if err := sys.RunHardware(decodeHW, "decode", args); err != nil {
 		log.Fatal(err)
 	}
 	if err := sys.RunSoftware(checkSrc, "check", args); err != nil {

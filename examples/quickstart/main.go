@@ -1,13 +1,15 @@
-// Quickstart: compile a tiny MiniJ program, simulate the generated
-// architecture, and verify the memory contents against the golden
-// interpreter — the whole verification flow in one page of code.
+// Quickstart: the whole verification flow on the public pipeline API —
+// compile a tiny MiniJ program, simulate the generated architecture on
+// a selectable backend while streaming progress, and verify the memory
+// contents against the golden interpreter.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/core"
+	"repro"
 )
 
 const src = `
@@ -20,9 +22,9 @@ void scale(int[] a, int[] b, int n) {
 `
 
 func main() {
-	tc := core.TestCase{
+	source := repro.Source{
 		Name:       "quickstart",
-		Source:     src,
+		Text:       src,
 		Func:       "scale",
 		ArraySizes: map[string]int{"a": 16, "b": 16},
 		ScalarArgs: map[string]int64{"n": 16},
@@ -30,21 +32,29 @@ func main() {
 			"a": {5, -3, 12, 7, 0, 1, 2, 3, 100, -100, 42, 9, 8, 7, 6, 5},
 		},
 	}
-	res, err := core.RunCase(tc, core.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if res.Err != nil {
-		log.Fatal(res.Err)
-	}
-	fmt.Println(res.Summary())
-	p := res.Partitions[0]
-	fmt.Printf("generated architecture: %d operators, %d FSM states\n", p.Operators, p.States)
-	fmt.Printf("simulated %d clock cycles in %v; golden reference took %v\n",
-		p.Cycles, p.SimWall, res.RefWall)
-	if res.Passed {
-		fmt.Println("memory contents match the golden algorithm: design verified")
-	} else {
-		fmt.Println("MISMATCH:", res.Failed())
+
+	// Run the same flow on every registered simulator backend; the
+	// kernels are required to agree event for event.
+	for _, backend := range repro.Backends() {
+		fmt.Printf("--- backend %s ---\n", backend)
+		out, err := repro.Run(source,
+			repro.WithBackend(backend),
+			repro.WithObserver(repro.NewProgressObserver(os.Stdout)),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.Verdict == nil {
+			log.Fatalf("simulation incomplete after cycle cap")
+		}
+		p := out.Compiled.Partitions[0]
+		fmt.Printf("generated architecture: %d operators, %d FSM states\n", p.Operators, p.States)
+		fmt.Printf("simulated %d clock cycles in %v; golden reference took %v\n",
+			out.Sim.TotalCycles, out.Sim.SimWall, out.Verdict.RefWall)
+		if out.OK() {
+			fmt.Println("memory contents match the golden algorithm: design verified")
+		} else {
+			log.Fatalf("MISMATCH: %v", out.Verdict.Failed())
+		}
 	}
 }

@@ -37,7 +37,8 @@ type RunFunc func() (Measure, error)
 type Scenario struct {
 	Name    string
 	Desc    string
-	Pinned  bool // part of the CI regression set
+	Pinned  bool   // part of the CI regression set
+	Backend string // simulator backend the scenario executes on
 	Prepare func() (RunFunc, error)
 }
 
@@ -47,6 +48,7 @@ type Result struct {
 	Name           string  `json:"name"`
 	Desc           string  `json:"desc,omitempty"`
 	Pinned         bool    `json:"pinned"`
+	Backend        string  `json:"backend,omitempty"`
 	Reps           int     `json:"reps"`
 	Events         uint64  `json:"events"`
 	Cycles         uint64  `json:"cycles,omitempty"`
@@ -76,6 +78,7 @@ func Run(sc Scenario, reps int) (*Result, error) {
 		Name:      sc.Name,
 		Desc:      sc.Desc,
 		Pinned:    sc.Pinned,
+		Backend:   sc.Backend,
 		Reps:      reps,
 		UnixTime:  time.Now().Unix(),
 		GoVersion: runtime.Version(),
@@ -159,15 +162,20 @@ func Load(dir string) (map[string]*Result, error) {
 	return out, nil
 }
 
-// Regression is one scenario that fell below the baseline tolerance.
+// Regression is one scenario that fell below the baseline tolerance,
+// or whose run and baseline are not comparable at all (Mismatch set).
 type Regression struct {
 	Name     string
 	Baseline float64 // baseline events/sec
 	Current  float64 // current events/sec
 	Ratio    float64 // current / baseline
+	Mismatch string  // non-empty: results are incomparable (wrong backend)
 }
 
 func (r Regression) String() string {
+	if r.Mismatch != "" {
+		return fmt.Sprintf("%s: %s", r.Name, r.Mismatch)
+	}
 	return fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (%.2fx)",
 		r.Name, r.Current, r.Baseline, r.Ratio)
 }
@@ -176,7 +184,10 @@ func (r Regression) String() string {
 // scenario must be present and within threshold (e.g. 0.25 fails below
 // 75% of baseline events/sec). A missing current result is reported as
 // a regression with zero throughput so a silently-dropped scenario can
-// never pass the gate.
+// never pass the gate, and a backend mismatch between a result and its
+// baseline is reported as incomparable — gating a backend against
+// another backend's numbers (a stale -baseline path) must never pass
+// or fail on the throughput difference between the kernels.
 func Compare(current, baseline map[string]*Result, threshold float64) []Regression {
 	var regs []Regression
 	names := make([]string, 0, len(baseline))
@@ -192,6 +203,15 @@ func Compare(current, baseline map[string]*Result, threshold float64) []Regressi
 		cur, ok := current[name]
 		if !ok {
 			regs = append(regs, Regression{Name: name, Baseline: base.EventsPerSec})
+			continue
+		}
+		if base.Backend != "" && cur.Backend != "" && base.Backend != cur.Backend {
+			regs = append(regs, Regression{
+				Name:     name,
+				Baseline: base.EventsPerSec,
+				Current:  cur.EventsPerSec,
+				Mismatch: fmt.Sprintf("ran on backend %q but baseline was recorded on %q", cur.Backend, base.Backend),
+			})
 			continue
 		}
 		ratio := cur.EventsPerSec / base.EventsPerSec

@@ -155,3 +155,50 @@ func TestPinnedScenariosExecute(t *testing.T) {
 		})
 	}
 }
+
+// TestScenariosPerBackend: the registry parameterizes over the
+// simulator backends; a kernel scenario and an e2e scenario must
+// prepare and execute on heapref, and the results must carry the
+// backend name for the per-backend baseline gate.
+func TestScenariosPerBackend(t *testing.T) {
+	scs, err := Select("kernel-fanout,hamming-256", ScenariosFor("heapref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.Backend != "heapref" {
+			t.Fatalf("%s: backend %q", sc.Name, sc.Backend)
+		}
+		res, err := Run(sc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Backend != "heapref" || res.Events == 0 {
+			t.Fatalf("%s: result %+v", sc.Name, res)
+		}
+	}
+	if _, err := Select("kernel-fanout", ScenariosFor("no-such-backend")); err != nil {
+		t.Fatal(err) // selection works; preparation reports the bad backend
+	}
+	bad := ScenariosFor("no-such-backend")
+	if _, err := Run(bad[0], 1); err == nil {
+		t.Fatal("unknown backend must surface at prepare time")
+	}
+}
+
+func TestCompareRejectsBackendMismatch(t *testing.T) {
+	base := map[string]*Result{"s": {Name: "s", Backend: "twolevel", EventsPerSec: 1000}}
+	cur := map[string]*Result{"s": {Name: "s", Backend: "heapref", EventsPerSec: 1000}}
+	regs := Compare(cur, base, 0.25)
+	if len(regs) != 1 || regs[0].Mismatch == "" {
+		t.Fatalf("regs=%v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "baseline was recorded on") {
+		t.Fatalf("message=%q", regs[0].String())
+	}
+	// Pre-split baselines without a backend field still compare.
+	base["s"].Backend = ""
+	if regs := Compare(cur, base, 0.25); len(regs) != 0 {
+		t.Fatalf("legacy baseline must stay comparable: %v", regs)
+	}
+}

@@ -7,47 +7,53 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flow"
 	"repro/internal/hades"
 	"repro/internal/netlist"
-	"repro/internal/rtg"
 	"repro/internal/workloads"
 	"repro/internal/xmlspec"
 )
 
-// Scenarios returns the benchmark registry in a stable order. The
-// pinned subset is the CI regression set; the rest are opt-in
-// investigations (larger images, monolithic-vs-partitioned contrast).
-func Scenarios() []Scenario {
+// Scenarios returns the benchmark registry on the default simulator
+// backend; see ScenariosFor.
+func Scenarios() []Scenario { return ScenariosFor(flow.DefaultBackend) }
+
+// ScenariosFor returns the benchmark registry in a stable order, every
+// scenario executing on the named simulator backend. The pinned subset
+// is the CI regression set — gated once per registered backend against
+// that backend's own baseline; the rest are opt-in investigations
+// (larger images, monolithic-vs-partitioned contrast).
+func ScenariosFor(backend string) []Scenario {
 	list := []Scenario{
 		// Raw kernel traffic: the substrate numbers behind every
 		// simulation time. Mirrors the pinned shapes benchmarked against
 		// the heap kernel in internal/hades.
-		kernelScenario("kernel-rings", "64 self-rescheduling rings, periods 2..17 (lane traffic)", true,
+		kernelScenario(backend, "kernel-rings", "64 self-rescheduling rings, periods 2..17 (lane traffic)", true,
 			200_000, buildRings),
-		kernelScenario("kernel-deltastorm", "32 rings with two zero-delay hops per firing (delta traffic)", true,
+		kernelScenario(backend, "kernel-deltastorm", "32 rings with two zero-delay hops per firing (delta traffic)", true,
 			100_000, buildDeltaStorm),
-		kernelScenario("kernel-fanout", "one ring fanning out to 256 listeners (wide batches)", true,
+		kernelScenario(backend, "kernel-fanout", "one ring fanning out to 256 listeners (wide batches)", true,
 			20_000, buildFanout),
-		kernelScenario("kernel-timers", "128 timers with periods 2000..14300 (overflow-heap traffic)", true,
+		kernelScenario(backend, "kernel-timers", "128 timers with periods 2000..14300 (overflow-heap traffic)", true,
 			2_000_000, buildFarTimers),
 
 		// A handcrafted design in the XML dialects (the examples/
 		// handcrafted accumulator, scaled up): netlist elaboration
 		// without the compiler in the loop.
 		{Name: "handcrafted-acc", Desc: "stimulus-fed accumulator over 4096 words (examples/handcrafted)",
-			Pinned: true, Prepare: prepareHandcrafted},
+			Pinned: true, Prepare: prepareHandcrafted(backend)},
 
 		// The paper's evaluation workloads end to end through the RTG;
 		// wall time is the simulation only.
-		e2eScenario("fdct1-1024", "FDCT single configuration, 1024-pixel image", true,
+		e2eScenario(backend, "fdct1-1024", "FDCT single configuration, 1024-pixel image", true,
 			func() core.TestCase { return fdctCase("fdct1", 1024, false) }, core.Options{}),
-		e2eScenario("fdct2-1024", "FDCT two configurations, 1024-pixel image", true,
+		e2eScenario(backend, "fdct2-1024", "FDCT two configurations, 1024-pixel image", true,
 			func() core.TestCase { return fdctCase("fdct2", 1024, true) }, core.Options{}),
-		e2eScenario("hamming-256", "Hamming(7,4) decode of 256 codewords", true,
+		e2eScenario(backend, "hamming-256", "Hamming(7,4) decode of 256 codewords", true,
 			func() core.TestCase { return hammingCase(256) }, core.Options{}),
-		e2eScenario("fdct1-4096", "FDCT single configuration, paper-sized 4096-pixel image", false,
+		e2eScenario(backend, "fdct1-4096", "FDCT single configuration, paper-sized 4096-pixel image", false,
 			func() core.TestCase { return fdctCase("fdct1", 4096, false) }, core.Options{}),
-		e2eScenario("fdct2-4096", "FDCT two configurations, paper-sized 4096-pixel image", false,
+		e2eScenario(backend, "fdct2-4096", "FDCT two configurations, paper-sized 4096-pixel image", false,
 			func() core.TestCase { return fdctCase("fdct2", 4096, true) }, core.Options{}),
 	}
 
@@ -58,6 +64,7 @@ func Scenarios() []Scenario {
 	for _, w := range []int{8, 16, 32} {
 		w := w
 		list = append(list, e2eScenario(
+			backend,
 			fmt.Sprintf("rtg-hamming-w%d", w),
 			fmt.Sprintf("Hamming decoder compiled at datapath width %d", w),
 			true,
@@ -66,6 +73,9 @@ func Scenarios() []Scenario {
 		))
 	}
 	sort.SliceStable(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	for i := range list {
+		list[i].Backend = backend
+	}
 	return list
 }
 
@@ -104,16 +114,21 @@ func Select(selector string, all []Scenario) ([]Scenario, error) {
 
 // --- kernel scenarios -------------------------------------------------------
 
-// kernelScenario builds a fresh simulator per iteration and runs it for
-// a fixed simulated horizon; only the Run call is timed.
-func kernelScenario(name, desc string, pinned bool, horizon hades.Time, build func(sim *hades.Simulator)) Scenario {
+// kernelScenario builds a fresh simulator on the scenario's backend per
+// iteration and runs it for a fixed simulated horizon; only the Run
+// call is timed.
+func kernelScenario(backend, name, desc string, pinned bool, horizon hades.Time, build func(sim *hades.Simulator)) Scenario {
 	return Scenario{
 		Name:   name,
 		Desc:   desc,
 		Pinned: pinned,
 		Prepare: func() (RunFunc, error) {
+			be, err := flow.LookupBackend(backend)
+			if err != nil {
+				return nil, err
+			}
 			return func() (Measure, error) {
-				sim := hades.NewSimulator()
+				sim := be.New()
 				build(sim)
 				start := time.Now()
 				if _, err := sim.Run(horizon); err != nil {
@@ -193,7 +208,7 @@ func hammingCase(words int) core.TestCase {
 // on fresh simulators. Wall is the sum of the per-configuration
 // simulation walls: compile, memory seeding and controller setup are
 // excluded, so events/sec tracks the kernel, not the frontend.
-func e2eScenario(name, desc string, pinned bool, tc func() core.TestCase, opts core.Options) Scenario {
+func e2eScenario(backend, name, desc string, pinned bool, tc func() core.TestCase, opts core.Options) Scenario {
 	return Scenario{
 		Name:   name,
 		Desc:   desc,
@@ -204,24 +219,28 @@ func e2eScenario(name, desc string, pinned bool, tc func() core.TestCase, opts c
 			if err != nil {
 				return nil, err
 			}
-			return func() (Measure, error) { return executeDesign(design, c) }, nil
+			pipe, err := flow.New(flow.WithBackend(backend))
+			if err != nil {
+				return nil, err
+			}
+			return func() (Measure, error) { return executeDesign(pipe, design, c) }, nil
 		},
 	}
 }
 
-func executeDesign(design *xmlspec.Design, tc core.TestCase) (Measure, error) {
-	ctl, err := rtg.NewController(design, rtg.Options{})
+func executeDesign(pipe *flow.Pipeline, design *xmlspec.Design, tc core.TestCase) (Measure, error) {
+	e, err := pipe.ElaborateDesign(design)
 	if err != nil {
 		return Measure{}, err
 	}
 	for name, depth := range tc.ArraySizes {
 		words := make([]int64, depth)
 		copy(words, tc.Inputs[name])
-		if err := ctl.LoadMemory(name, words); err != nil {
+		if err := e.LoadMemory(name, words); err != nil {
 			return Measure{}, err
 		}
 	}
-	exec, err := ctl.Execute()
+	exec, err := pipe.Simulate(e)
 	if err != nil {
 		return Measure{}, err
 	}
@@ -241,33 +260,40 @@ func executeDesign(design *xmlspec.Design, tc core.TestCase) (Measure, error) {
 
 // prepareHandcrafted is the examples/handcrafted accumulator scaled to a
 // 4096-word stimulus: a design written directly in the XML dialects,
-// elaborated by netlist with no compiler involved.
-func prepareHandcrafted() (RunFunc, error) {
-	stimulus := make([]int64, 4096)
-	for i := range stimulus {
-		stimulus[i] = int64(i%251 + 1)
+// elaborated by netlist with no compiler involved (so the backend's
+// simulator is built directly rather than through a controller).
+func prepareHandcrafted(backend string) func() (RunFunc, error) {
+	return func() (RunFunc, error) {
+		be, err := flow.LookupBackend(backend)
+		if err != nil {
+			return nil, err
+		}
+		stimulus := make([]int64, 4096)
+		for i := range stimulus {
+			stimulus[i] = int64(i%251 + 1)
+		}
+		dp, fsm := handcraftedDesign()
+		return func() (Measure, error) {
+			sim := be.New()
+			clk := sim.NewSignal("clk", 1)
+			el, err := netlist.Elaborate(sim, clk, dp, fsm, netlist.Options{
+				InitData: map[string][]int64{"src": stimulus},
+			})
+			if err != nil {
+				return Measure{}, err
+			}
+			start := time.Now()
+			rr, err := el.RunToCompletion(10, 1_000_000)
+			if err != nil {
+				return Measure{}, err
+			}
+			wall := time.Since(start)
+			if !rr.Completed {
+				return Measure{}, fmt.Errorf("bench: handcrafted-acc: incomplete after %d cycles", rr.Cycles)
+			}
+			return Measure{Events: sim.Stats().Events, Cycles: rr.Cycles, Wall: wall}, nil
+		}, nil
 	}
-	dp, fsm := handcraftedDesign()
-	return func() (Measure, error) {
-		sim := hades.NewSimulator()
-		clk := sim.NewSignal("clk", 1)
-		el, err := netlist.Elaborate(sim, clk, dp, fsm, netlist.Options{
-			InitData: map[string][]int64{"src": stimulus},
-		})
-		if err != nil {
-			return Measure{}, err
-		}
-		start := time.Now()
-		rr, err := el.RunToCompletion(10, 1_000_000)
-		if err != nil {
-			return Measure{}, err
-		}
-		wall := time.Since(start)
-		if !rr.Completed {
-			return Measure{}, fmt.Errorf("bench: handcrafted-acc: incomplete after %d cycles", rr.Cycles)
-		}
-		return Measure{Events: sim.Stats().Events, Cycles: rr.Cycles, Wall: wall}, nil
-	}, nil
 }
 
 func handcraftedDesign() (*xmlspec.Datapath, *xmlspec.FSM) {

@@ -23,7 +23,7 @@ func runBoth(t *testing.T, src, fn string, sizes map[string]int,
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctl, err := rtg.NewController(res.Design, rtg.Options{})
+	ctl, err := rtg.NewController(res.Design, rtgTestOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func TestAutoSplitEndToEnd(t *testing.T) {
 	if len(res.Meta) != 2 {
 		t.Fatalf("auto split produced %d partitions", len(res.Meta))
 	}
-	ctl, err := rtg.NewController(res.Design, rtg.Options{})
+	ctl, err := rtg.NewController(res.Design, rtgTestOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func TestGeneratedXMLRoundTrips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctl, err := rtg.NewController(back, rtg.Options{})
+	ctl, err := rtg.NewController(back, rtgTestOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,4 +424,13 @@ func TestGeneratedXMLRoundTrips(t *testing.T) {
 			t.Fatalf("a=%v want %v", a, want)
 		}
 	}
+}
+
+// rtgTestOptions supplies the explicit bounds the rtg controller
+// requires (it deliberately refuses unset ones), generous enough never
+// to bind here. These are not "the defaults" — the canonical values
+// live only in internal/flow, which these in-package tests cannot
+// import (flow imports the compiler).
+func rtgTestOptions() rtg.Options {
+	return rtg.Options{ClockPeriod: 10, MaxCycles: 10_000_000, MaxConfigs: 1024}
 }

@@ -1,35 +1,66 @@
-// Package core is the public façade of the test infrastructure: it wires
-// the compiler, the XML dialects, the transformation layer, the
-// event-driven simulator and the golden-reference interpreter into the
-// verification flow of the paper's Figure 1, and provides the regression
-// suite automation that replaces the ANT build.
+// Package core is the regression-suite façade of the test
+// infrastructure: it keeps the suite automation that replaces the ANT
+// build (TestCase, CaseResult, the parallel Runner) and delegates the
+// actual verification flow of the paper's Figure 1 — compile →
+// transform → elaborate → simulate → verify — to internal/flow, which
+// owns the staged pipeline, the defaults, the observers and the
+// simulator backend registry.
 package core
 
 import (
 	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"time"
 
-	"repro/internal/compiler"
+	"repro/internal/flow"
 	"repro/internal/hades"
-	"repro/internal/interp"
-	"repro/internal/lang"
 	"repro/internal/memfile"
-	"repro/internal/rtg"
 	"repro/internal/xmlspec"
-	"repro/internal/xsl"
 )
 
-// Options tunes a flow run.
+// Options tunes a flow run. The zero value is fully usable: every
+// unset field resolves to the flow defaults (flow.DefaultClockPeriod,
+// flow.DefaultMaxCycles, …) — core itself holds no default values.
 type Options struct {
 	Width          int
 	AutoPartitions int
-	ClockPeriod    int64  // simulator ticks; default 10
-	MaxCycles      uint64 // per configuration; default 50M
+	ClockPeriod    int64  // simulator ticks; 0: flow.DefaultClockPeriod
+	MaxCycles      uint64 // per configuration; 0: flow.DefaultMaxCycles
 	WorkDir        string // when set, XML/dot/java/hds/mem artifacts are written here
 	EmitArtifacts  bool   // emit dot/java/hds translations (requires WorkDir)
+	Backend        string // simulator backend name; "": flow.DefaultBackend
+	// Observers stream stage and per-configuration progress for every
+	// case run with these options (reporting sinks, VCD taps, …). The
+	// same instances are shared by every case, and a parallel Runner
+	// runs cases concurrently: observers used with Workers > 1 must be
+	// safe for concurrent use (flow.VCDObserver in particular is
+	// per-run; see its doc).
+	Observers []flow.Observer
+}
+
+// FlowOptions renders the options as the flow functional options they
+// resolve to; ctx may be nil.
+func (o Options) FlowOptions(ctx context.Context) []flow.Option {
+	fo := []flow.Option{
+		flow.WithWidth(o.Width),
+		flow.WithAutoPartitions(o.AutoPartitions),
+		flow.WithWorkDir(o.WorkDir),
+		flow.WithArtifacts(o.EmitArtifacts),
+		flow.WithBackend(o.Backend),
+	}
+	if o.ClockPeriod > 0 {
+		fo = append(fo, flow.WithClock(hades.Time(o.ClockPeriod)))
+	}
+	if o.MaxCycles > 0 {
+		fo = append(fo, flow.WithMaxCycles(o.MaxCycles))
+	}
+	if ctx != nil {
+		fo = append(fo, flow.WithContext(ctx))
+	}
+	for _, obs := range o.Observers {
+		fo = append(fo, flow.WithObserver(obs))
+	}
+	return fo
 }
 
 // TestCase is one entry of the regression suite: a MiniJ source, its
@@ -45,6 +76,19 @@ type TestCase struct {
 	// nil the golden interpreter's result is the expectation (the
 	// paper's flow).
 	Expected map[string][]int64
+}
+
+// FlowSource renders the case as a flow pipeline source.
+func (tc TestCase) FlowSource() flow.Source {
+	return flow.Source{
+		Name:       tc.Name,
+		Text:       tc.Source,
+		Func:       tc.Func,
+		ArraySizes: tc.ArraySizes,
+		ScalarArgs: tc.ScalarArgs,
+		Inputs:     tc.Inputs,
+		Expected:   tc.Expected,
+	}
 }
 
 // PartitionStats reports one configuration for the Table I columns.
@@ -114,20 +158,15 @@ func (r *CaseResult) Summary() string {
 // CompileOnly compiles a test case's source to its design without
 // simulating, for tooling and benchmarks that manage execution directly.
 func CompileOnly(tc TestCase, opts Options) (*xmlspec.Design, error) {
-	prog, err := lang.Parse(tc.Source)
+	p, err := flow.New(opts.FlowOptions(nil)...)
 	if err != nil {
 		return nil, err
 	}
-	comp, err := compiler.Compile(prog, tc.Func, compiler.Config{
-		Width:          opts.Width,
-		ArraySizes:     tc.ArraySizes,
-		ScalarArgs:     tc.ScalarArgs,
-		AutoPartitions: opts.AutoPartitions,
-	})
+	c, err := p.Compile(tc.FlowSource())
 	if err != nil {
 		return nil, err
 	}
-	return comp.Design, nil
+	return c.Design, nil
 }
 
 // RunCase executes the full verification flow for one case with no
@@ -136,256 +175,71 @@ func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
 	return RunCaseContext(context.Background(), tc, opts)
 }
 
-// RunCaseContext executes the full verification flow for one case: compile →
-// emit/validate XML → (optionally translate to dot/java/hds) → simulate
-// through the RTG → run the golden algorithm on copies of the memory
-// files → compare memory contents. The context cancels the flow between
-// phases and is polled by the event kernel once per simulated instant,
-// so a timed-out case fails promptly instead of hanging the suite.
+// RunCaseContext executes the full verification flow for one case
+// through the flow pipeline: compile → emit/validate XML → (optionally
+// translate to dot/java/hds) → simulate through the RTG on the selected
+// backend → run the golden algorithm on copies of the memory files →
+// compare memory contents. The context cancels the flow between stages
+// and is polled by the event kernel once per simulated instant, so a
+// timed-out case fails promptly instead of hanging the suite.
 func RunCaseContext(ctx context.Context, tc TestCase, opts Options) (*CaseResult, error) {
+	p, err := flow.New(opts.FlowOptions(ctx)...)
+	if err != nil {
+		return nil, err
+	}
 	res := &CaseResult{Name: tc.Name, Mismatches: map[string][]memfile.Mismatch{}, Artifacts: map[string]string{}}
 
-	prog, err := lang.Parse(tc.Source)
+	c, err := p.Compile(tc.FlowSource())
 	if err != nil {
 		return nil, err
 	}
-	res.SourceLoC = countLines(tc.Source)
-
-	comp, err := compiler.Compile(prog, tc.Func, compiler.Config{
-		Width:          opts.Width,
-		ArraySizes:     tc.ArraySizes,
-		ScalarArgs:     tc.ScalarArgs,
-		AutoPartitions: opts.AutoPartitions,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Size metrics per partition.
-	for _, meta := range comp.Meta {
-		dpDoc, err := xmlspec.Marshal(comp.Design.Datapaths[meta.Datapath])
-		if err != nil {
-			return nil, err
-		}
-		fsmDoc, err := xmlspec.Marshal(comp.Design.FSMs[meta.FSM])
-		if err != nil {
-			return nil, err
-		}
-		javaOut, err := xsl.TransformBytes(xsl.FSMToJava(), fsmDoc)
-		if err != nil {
-			return nil, err
-		}
+	res.SourceLoC = c.SourceLoC
+	res.TotalOps = c.TotalOps
+	for _, pi := range c.Partitions {
 		res.Partitions = append(res.Partitions, PartitionStats{
-			ID:             meta.ID,
-			Operators:      meta.Operators,
-			States:         meta.States,
-			XMLDatapathLoC: xmlspec.LineCount(dpDoc),
-			XMLFSMLoC:      xmlspec.LineCount(fsmDoc),
-			JavaFSMLoC:     countLines(javaOut),
+			ID:             pi.ID,
+			Operators:      pi.Operators,
+			States:         pi.States,
+			XMLDatapathLoC: pi.XMLDatapathLoC,
+			XMLFSMLoC:      pi.XMLFSMLoC,
+			JavaFSMLoC:     pi.JavaFSMLoC,
 		})
-		res.TotalOps += meta.Operators
+	}
+	for label, path := range c.Artifacts {
+		res.Artifacts[label] = path
 	}
 
-	if opts.WorkDir != "" {
-		if err := emitArtifacts(tc, comp, opts, res); err != nil {
-			return nil, err
-		}
-	}
-
-	// Simulate.
-	ctl, err := rtg.NewController(comp.Design, rtg.Options{
-		ClockPeriod: clockPeriod(opts),
-		MaxCycles:   maxCycles(opts),
-		Context:     ctx,
-	})
+	e, err := p.Elaborate(c)
 	if err != nil {
 		return nil, err
 	}
-	for name, depth := range tc.ArraySizes {
-		words := make([]int64, depth)
-		copy(words, tc.Inputs[name])
-		if err := ctl.LoadMemory(name, words); err != nil {
-			return nil, err
-		}
-	}
-	exec, err := ctl.Execute()
+	sim, err := p.Simulate(e)
 	if err != nil {
 		return nil, err
 	}
-	if !exec.Completed {
-		res.Err = fmt.Errorf("core: %s: simulation incomplete after cycle cap", tc.Name)
-		return res, nil
-	}
-	for i, run := range exec.Runs {
+	for i, run := range sim.Runs {
 		if i < len(res.Partitions) {
 			res.Partitions[i].Cycles = run.Cycles
 			res.Partitions[i].SimWall = run.Wall
 			res.Partitions[i].SimulatedEvents = run.Events
 		}
-		res.SimWall += run.Wall
+	}
+	res.SimWall = sim.SimWall
+	for label, path := range sim.Artifacts {
+		res.Artifacts[label] = path
+	}
+	if !sim.Completed {
+		res.Err = fmt.Errorf("core: %s: simulation incomplete after cycle cap", tc.Name)
+		return res, nil
 	}
 
-	// Golden reference on copies of the same inputs.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", tc.Name, err)
-	}
-	ref := map[string][]int64{}
-	for name, depth := range tc.ArraySizes {
-		words := make([]int64, depth)
-		copy(words, tc.Inputs[name])
-		ref[name] = words
-	}
-	start := time.Now()
-	ri, err := interp.Run(comp.Func, ref, tc.ScalarArgs, interp.Options{})
+	v, err := p.Verify(c, sim)
 	if err != nil {
 		return nil, err
 	}
-	res.RefWall = time.Since(start)
-	res.RefSteps = ri.Steps
-
-	// Compare memory contents (the paper's pass criterion).
-	res.Passed = true
-	for name := range tc.ArraySizes {
-		expected := ref[name]
-		if tc.Expected != nil && tc.Expected[name] != nil {
-			expected = tc.Expected[name]
-		}
-		actual, err := ctl.Memory(name)
-		if err != nil {
-			return nil, err
-		}
-		ms := memfile.Compare(expected, actual, 0)
-		res.Mismatches[name] = ms
-		if len(ms) > 0 {
-			res.Passed = false
-		}
-	}
-
-	if opts.WorkDir != "" {
-		for name := range tc.ArraySizes {
-			actual, _ := ctl.Memory(name)
-			path := filepath.Join(opts.WorkDir, tc.Name, name+".out.mem")
-			if err := memfile.Save(path, actual, "simulated contents of "+name); err != nil {
-				return nil, err
-			}
-			res.Artifacts["mem:"+name] = path
-		}
-	}
+	res.Passed = v.Passed
+	res.Mismatches = v.Mismatches
+	res.RefWall = v.RefWall
+	res.RefSteps = v.RefSteps
 	return res, nil
-}
-
-func emitArtifacts(tc TestCase, comp *compiler.Result, opts Options, res *CaseResult) error {
-	dir := filepath.Join(opts.WorkDir, tc.Name)
-	files, err := xmlspec.SaveDesign(comp.Design, dir)
-	if err != nil {
-		return err
-	}
-	for label, path := range files {
-		res.Artifacts[label] = path
-	}
-	for name := range tc.ArraySizes {
-		words := make([]int64, tc.ArraySizes[name])
-		copy(words, tc.Inputs[name])
-		path := filepath.Join(dir, name+".mem")
-		if err := memfile.Save(path, words, "initial contents of "+name); err != nil {
-			return err
-		}
-		res.Artifacts["mem-in:"+name] = path
-	}
-	if !opts.EmitArtifacts {
-		return nil
-	}
-	emit := func(label, name, content string) error {
-		path := filepath.Join(dir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			return err
-		}
-		res.Artifacts[label] = path
-		return nil
-	}
-	rtgDoc, err := xmlspec.Marshal(comp.Design.RTG)
-	if err != nil {
-		return err
-	}
-	if out, err := xsl.TransformBytes(xsl.RTGToDot(), rtgDoc); err != nil {
-		return err
-	} else if err := emit("dot:rtg", "rtg.dot", out); err != nil {
-		return err
-	}
-	if out, err := xsl.TransformBytes(xsl.RTGToJava(), rtgDoc); err != nil {
-		return err
-	} else if err := emit("java:rtg", "rtg.java", out); err != nil {
-		return err
-	}
-	for name, dp := range comp.Design.Datapaths {
-		doc, err := xmlspec.Marshal(dp)
-		if err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.DatapathToDot(), doc); err != nil {
-			return err
-		} else if err := emit("dot:"+name, name+".dot", out); err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.DatapathToHDS(), doc); err != nil {
-			return err
-		} else if err := emit("hds:"+name, name+".hds", out); err != nil {
-			return err
-		}
-	}
-	for name, fsm := range comp.Design.FSMs {
-		doc, err := xmlspec.Marshal(fsm)
-		if err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.FSMToDot(), doc); err != nil {
-			return err
-		} else if err := emit("dot:"+name, name+".dot", out); err != nil {
-			return err
-		}
-		if out, err := xsl.TransformBytes(xsl.FSMToJava(), doc); err != nil {
-			return err
-		} else if err := emit("java:"+name, name+".java", out); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func clockPeriod(opts Options) hades.Time {
-	if opts.ClockPeriod > 0 {
-		return hades.Time(opts.ClockPeriod)
-	}
-	return 10
-}
-
-func maxCycles(opts Options) uint64 {
-	if opts.MaxCycles > 0 {
-		return opts.MaxCycles
-	}
-	return 50_000_000
-}
-
-func countLines(s string) int {
-	n := 0
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == '\n' {
-			line := s[start:i]
-			start = i + 1
-			if nonBlank(line) {
-				n++
-			}
-		}
-	}
-	return n
-}
-
-func nonBlank(line string) bool {
-	for i := 0; i < len(line); i++ {
-		if line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
-			return true
-		}
-	}
-	return false
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/flow"
 	"repro/internal/workloads"
 )
 
@@ -240,11 +241,71 @@ func TestSuiteReportsFailuresWithoutAborting(t *testing.T) {
 	}
 }
 
-func TestCountLines(t *testing.T) {
-	if got := countLines("a\n\n  \nb\nc"); got != 3 {
-		t.Fatalf("countLines=%d", got)
+// TestZeroOptionsObserveFlowDefaults is the defaults-dedup contract:
+// a zero core.Options resolves to exactly the flow constants — core
+// holds no defaults of its own. Together with the rtg strictness test
+// (rtg.TestOptionsRequireExplicitBounds) and the CLI flag test
+// (cliutil.TestFlowFlagsDefaultsAreTheFlowDefaults), this pins the
+// single source of truth: core, rtg and cmd/hsim all observe the same
+// ClockPeriod/MaxCycles.
+func TestZeroOptionsObserveFlowDefaults(t *testing.T) {
+	p, err := flow.New(Options{}.FlowOptions(nil)...)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := countLines(""); got != 0 {
-		t.Fatalf("countLines empty=%d", got)
+	cfg := p.Config()
+	if cfg.ClockPeriod != flow.DefaultClockPeriod {
+		t.Errorf("ClockPeriod=%v want %v", cfg.ClockPeriod, flow.DefaultClockPeriod)
+	}
+	if cfg.MaxCycles != flow.DefaultMaxCycles {
+		t.Errorf("MaxCycles=%v want %v", cfg.MaxCycles, flow.DefaultMaxCycles)
+	}
+	if cfg.MaxConfigs != flow.DefaultMaxConfigs {
+		t.Errorf("MaxConfigs=%v want %v", cfg.MaxConfigs, flow.DefaultMaxConfigs)
+	}
+	if cfg.Backend != flow.DefaultBackend {
+		t.Errorf("Backend=%q want %q", cfg.Backend, flow.DefaultBackend)
+	}
+	// Explicit values still pass through.
+	p2, err := flow.New(Options{ClockPeriod: 4, MaxCycles: 123, Backend: "heapref"}.FlowOptions(nil)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := p2.Config()
+	if cfg2.ClockPeriod != 4 || cfg2.MaxCycles != 123 || cfg2.Backend != "heapref" {
+		t.Fatalf("cfg2=%+v", cfg2)
+	}
+}
+
+// TestSuitePassesUnderEveryBackend runs the hamming regression case on
+// every registered backend — the suite-level acceptance of the
+// backend registry (`testsuite -backend heapref` in miniature).
+func TestSuitePassesUnderEveryBackend(t *testing.T) {
+	for _, backend := range flow.Backends() {
+		if strings.HasPrefix(backend, "test-") {
+			continue // synthetic registrations from other tests
+		}
+		s := &Suite{Name: "backend-" + backend, Cases: []TestCase{hammingCase("hamming", 16)}}
+		res := s.Run(Options{Backend: backend})
+		if !res.Passed() {
+			t.Fatalf("%s: suite failed: %+v", backend, res.Results[0].Err)
+		}
+		if res.TotalEvents == 0 {
+			t.Fatalf("%s: no events recorded", backend)
+		}
+	}
+}
+
+// TestCaseObserversStream: reporting is a sink, not a result field —
+// per-case observers see each configuration complete.
+func TestCaseObserversStream(t *testing.T) {
+	var lines bytes.Buffer
+	opts := Options{Observers: []flow.Observer{flow.NewProgressObserver(&lines)}}
+	res, err := RunCase(hammingCase("hamming", 16), opts)
+	if err != nil || !res.OK() {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(lines.String(), "configuration") {
+		t.Fatalf("observer saw %q", lines.String())
 	}
 }

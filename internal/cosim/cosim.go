@@ -13,10 +13,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/compiler"
+	"repro/internal/flow"
 	"repro/internal/interp"
 	"repro/internal/lang"
-	"repro/internal/rtg"
 )
 
 // System is a software/hardware co-simulation session around a shared
@@ -112,9 +111,11 @@ func (s *System) RunSoftware(src, funcName string, scalarArgs map[string]int64) 
 }
 
 // RunHardware compiles a MiniJ function and executes the generated
-// architecture on the simulator, with its SRAMs seeded from — and
-// written back to — the shared pool.
-func (s *System) RunHardware(src, funcName string, scalarArgs map[string]int64, opts rtg.Options) error {
+// architecture on the simulator through the flow pipeline, with its
+// SRAMs seeded from — and written back to — the shared pool. The
+// options select the backend, clock, cycle caps and observers; the flow
+// defaults apply when none are given.
+func (s *System) RunHardware(src, funcName string, scalarArgs map[string]int64, opts ...flow.Option) error {
 	prog, err := lang.Parse(src)
 	if err != nil {
 		return err
@@ -123,7 +124,14 @@ func (s *System) RunHardware(src, funcName string, scalarArgs map[string]int64, 
 	if !ok {
 		return fmt.Errorf("cosim: no function %q", funcName)
 	}
-	sizes := map[string]int{}
+	source := flow.Source{
+		Name:       funcName,
+		Text:       src,
+		Func:       funcName,
+		ArraySizes: map[string]int{},
+		ScalarArgs: scalarArgs,
+		Inputs:     map[string][]int64{},
+	}
 	for _, p := range f.Params {
 		if !p.IsArray {
 			continue
@@ -132,37 +140,31 @@ func (s *System) RunHardware(src, funcName string, scalarArgs map[string]int64, 
 		if err != nil {
 			return fmt.Errorf("cosim: hardware phase %s: %w", funcName, err)
 		}
-		sizes[p.Name] = len(m)
+		source.ArraySizes[p.Name] = len(m)
+		source.Inputs[p.Name] = m
 	}
-	comp, err := compiler.Compile(prog, funcName, compiler.Config{
-		ArraySizes: sizes, ScalarArgs: scalarArgs,
-	})
+	pipe, err := flow.New(opts...)
 	if err != nil {
 		return err
 	}
-	ctl, err := rtg.NewController(comp.Design, opts)
+	c, err := pipe.Compile(source)
 	if err != nil {
 		return err
 	}
-	for name := range sizes {
-		if err := ctl.LoadMemory(name, s.mems[name]); err != nil {
-			return err
-		}
+	e, err := pipe.Elaborate(c)
+	if err != nil {
+		return err
 	}
 	start := time.Now()
-	res, err := ctl.Execute()
+	res, err := pipe.Simulate(e)
 	if err != nil {
 		return err
 	}
 	if !res.Completed {
 		return fmt.Errorf("cosim: hardware phase %s did not complete", funcName)
 	}
-	for name := range sizes {
-		words, err := ctl.Memory(name)
-		if err != nil {
-			return err
-		}
-		copy(s.mems[name], words)
+	for name := range source.ArraySizes {
+		copy(s.mems[name], res.Memories[name])
 	}
 	s.log = append(s.log, PhaseReport{
 		Kind: "hardware", Name: funcName, Wall: time.Since(start), Cycles: res.TotalCycles,

@@ -3,7 +3,6 @@ package cosim
 import (
 	"testing"
 
-	"repro/internal/rtg"
 	"repro/internal/workloads"
 )
 
@@ -85,7 +84,7 @@ func TestSoftwareHardwareSoftwarePipeline(t *testing.T) {
 	if err := sys.RunSoftware(encodeSrc, "encode", args); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.RunHardware(decodeHW, "decode", args, rtg.Options{}); err != nil {
+	if err := sys.RunHardware(decodeHW, "decode", args); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.RunSoftware(checkSrc, "check", args); err != nil {
@@ -123,7 +122,7 @@ func TestHardwarePhaseMatchesLibraryEncoder(t *testing.T) {
 	if err := sys.Load("chan_mem", codewords); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.RunHardware(decodeHW, "decode", map[string]int64{"n": n}, rtg.Options{}); err != nil {
+	if err := sys.RunHardware(decodeHW, "decode", map[string]int64{"n": n}); err != nil {
 		t.Fatal(err)
 	}
 	out, _ := sys.Memory("out")
@@ -148,7 +147,7 @@ func TestErrors(t *testing.T) {
 	if err := sys.RunSoftware("void f(int[] a) {}", "g", nil); err == nil {
 		t.Error("unknown function must error")
 	}
-	if err := sys.RunHardware("void f(int[] zz) { zz[0] = 1; }", "f", nil, rtg.Options{}); err == nil {
+	if err := sys.RunHardware("void f(int[] zz) { zz[0] = 1; }", "f", nil); err == nil {
 		t.Error("unbound hardware array must error")
 	}
 	if err := sys.RunSoftware("not minij", "f", nil); err == nil {

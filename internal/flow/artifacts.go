@@ -1,0 +1,140 @@
+package flow
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/hdl"
+	"repro/internal/xmlspec"
+	"repro/internal/xsl"
+)
+
+// WriteDesignArtifacts writes a design's XML bundle under dir and, when
+// translations is set, every dot/java/hds translation next to it. It
+// returns label -> path for everything written, with the same labels
+// the XML saver uses ("rtg", "datapath:<name>", …) plus "dot:<name>",
+// "java:<name>" and "hds:<name>".
+//
+// This is the single writer behind the compile stage's WorkDir
+// artifacts and the gnc -out/-emit output.
+func WriteDesignArtifacts(design *xmlspec.Design, dir string, translations bool) (map[string]string, error) {
+	files, err := xmlspec.SaveDesign(design, dir)
+	if err != nil {
+		return nil, err
+	}
+	if !translations {
+		return files, nil
+	}
+	emit := func(label, name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		files[label] = path
+		return nil
+	}
+	rtgDoc, err := xmlspec.Marshal(design.RTG)
+	if err != nil {
+		return nil, err
+	}
+	if out, err := xsl.TransformBytes(xsl.RTGToDot(), rtgDoc); err != nil {
+		return nil, err
+	} else if err := emit("dot:rtg", "rtg.dot", out); err != nil {
+		return nil, err
+	}
+	if out, err := xsl.TransformBytes(xsl.RTGToJava(), rtgDoc); err != nil {
+		return nil, err
+	} else if err := emit("java:rtg", "rtg.java", out); err != nil {
+		return nil, err
+	}
+	for name, dp := range design.Datapaths {
+		doc, err := xmlspec.Marshal(dp)
+		if err != nil {
+			return nil, err
+		}
+		if out, err := xsl.TransformBytes(xsl.DatapathToDot(), doc); err != nil {
+			return nil, err
+		} else if err := emit("dot:"+name, name+".dot", out); err != nil {
+			return nil, err
+		}
+		if out, err := xsl.TransformBytes(xsl.DatapathToHDS(), doc); err != nil {
+			return nil, err
+		} else if err := emit("hds:"+name, name+".hds", out); err != nil {
+			return nil, err
+		}
+	}
+	for name, fsm := range design.FSMs {
+		doc, err := xmlspec.Marshal(fsm)
+		if err != nil {
+			return nil, err
+		}
+		if out, err := xsl.TransformBytes(xsl.FSMToDot(), doc); err != nil {
+			return nil, err
+		} else if err := emit("dot:"+name, name+".dot", out); err != nil {
+			return nil, err
+		}
+		if out, err := xsl.TransformBytes(xsl.FSMToJava(), doc); err != nil {
+			return nil, err
+		} else if err := emit("java:"+name, name+".java", out); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// TranslateDocument renders one XML document (datapath, fsm or rtg) in
+// a target language: "dot" for any dialect, "vhdl"/"verilog" for
+// hardware documents, "java" for behavioural code, "hds" for the
+// simulator text. This is the dispatch behind xml2dot and xml2hdl —
+// the paper's user-extensible translation arrows in one place.
+func TranslateDocument(data []byte, target string) (string, error) {
+	root, err := xsl.Parse(data)
+	if err != nil {
+		return "", err
+	}
+	if target == "dot" {
+		sheet, err := xsl.ForDocument(root)
+		if err != nil {
+			return "", err
+		}
+		return xsl.Transform(sheet, root)
+	}
+	switch root.Name {
+	case "datapath":
+		dp, err := xmlspec.ParseDatapath(data)
+		if err != nil {
+			return "", err
+		}
+		switch target {
+		case "vhdl":
+			return hdl.VHDLDatapath(dp, nil)
+		case "verilog":
+			return hdl.VerilogDatapath(dp, nil)
+		case "hds":
+			return xsl.TransformBytes(xsl.DatapathToHDS(), data)
+		}
+		return "", fmt.Errorf("flow: datapath documents translate to dot, vhdl, verilog or hds (not %q)", target)
+	case "fsm":
+		f, err := xmlspec.ParseFSM(data)
+		if err != nil {
+			return "", err
+		}
+		switch target {
+		case "vhdl":
+			return hdl.VHDLFSM(f)
+		case "verilog":
+			return hdl.VerilogFSM(f)
+		case "java":
+			return xsl.TransformBytes(xsl.FSMToJava(), data)
+		}
+		return "", fmt.Errorf("flow: fsm documents translate to dot, vhdl, verilog or java (not %q)", target)
+	case "rtg":
+		switch target {
+		case "java":
+			return xsl.TransformBytes(xsl.RTGToJava(), data)
+		}
+		return "", fmt.Errorf("flow: rtg documents translate to dot or java (not %q)", target)
+	}
+	return "", fmt.Errorf("flow: unknown document root %q", root.Name)
+}

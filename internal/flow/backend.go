@@ -1,0 +1,103 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hades"
+)
+
+// Backend is one registered simulator implementation: a name, a short
+// description, and a factory for the event kernel every configuration
+// of a run is executed on.
+type Backend struct {
+	Name string
+	Desc string
+	New  func() *hades.Simulator
+}
+
+// DefaultBackend is the backend a pipeline uses when none is selected.
+const DefaultBackend = hades.KernelTwoLevel
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]Backend{}
+)
+
+func init() {
+	MustRegisterBackend(Backend{
+		Name: hades.KernelTwoLevel,
+		Desc: "two-level time-bucketed event queue (default, fastest)",
+		New:  hades.NewSimulator,
+	})
+	MustRegisterBackend(Backend{
+		Name: hades.KernelHeapRef,
+		Desc: "seed binary-heap kernel, the reference scheduling discipline",
+		New:  hades.NewHeapRefSimulator,
+	})
+}
+
+// RegisterBackend adds a simulator backend to the registry. Names must
+// be unique; the factory must be non-nil.
+func RegisterBackend(b Backend) error {
+	if b.Name == "" || b.New == nil {
+		return fmt.Errorf("flow: backend needs a name and a factory")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[b.Name]; dup {
+		return fmt.Errorf("flow: backend %q already registered", b.Name)
+	}
+	backends[b.Name] = b
+	return nil
+}
+
+// MustRegisterBackend is RegisterBackend panicking on error, for
+// package-init registration.
+func MustRegisterBackend(b Backend) {
+	if err := RegisterBackend(b); err != nil {
+		panic(err)
+	}
+}
+
+// LookupBackend resolves a backend by name ("" means DefaultBackend).
+func LookupBackend(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	b, ok := backends[name]
+	if !ok {
+		return Backend{}, fmt.Errorf("flow: unknown backend %q (registered: %v)", name, backendNamesLocked())
+	}
+	return b, nil
+}
+
+// Backends lists the registered backend names, default first, the rest
+// sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backendNamesLocked()
+}
+
+func backendNamesLocked() []string {
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		if name != DefaultBackend {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{DefaultBackend}, names...)
+}
+
+// BackendDesc returns the description of a registered backend ("" when
+// unknown).
+func BackendDesc(name string) string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backends[name].Desc
+}

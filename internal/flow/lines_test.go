@@ -1,0 +1,12 @@
+package flow
+
+import "testing"
+
+func TestCountLines(t *testing.T) {
+	if got := countLines("a\n\n  \nb\nc"); got != 3 {
+		t.Fatalf("countLines=%d", got)
+	}
+	if got := countLines(""); got != 0 {
+		t.Fatalf("countLines empty=%d", got)
+	}
+}

@@ -1,0 +1,158 @@
+package flow
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/hades"
+	"repro/internal/netlist"
+	"repro/internal/rtg"
+)
+
+// StageName identifies a pipeline stage in observer callbacks.
+type StageName string
+
+// The pipeline stages, in execution order.
+const (
+	StageCompile   StageName = "compile"
+	StageElaborate StageName = "elaborate"
+	StageSimulate  StageName = "simulate"
+	StageVerify    StageName = "verify"
+)
+
+// Observer streams pipeline progress: stage boundaries, each
+// configuration's live elaboration (the probe/VCD attachment point) and
+// each configuration's completion with its kernel statistics. Reporting
+// sinks — human logs, JSONL, bench metadata, waveform taps — implement
+// this instead of growing fields on result structs.
+//
+// Embed BaseObserver to implement only the callbacks you care about.
+type Observer interface {
+	// StageBegin fires before a stage runs; name is the case or design
+	// name the pipeline is working on.
+	StageBegin(stage StageName, name string)
+	// StageEnd fires after a stage, with its error (nil on success) and
+	// wall time.
+	StageEnd(stage StageName, name string, err error, wall time.Duration)
+	// ConfigElaborated fires when a configuration's component graph is
+	// live on its simulator, before the run starts.
+	ConfigElaborated(cfgID string, el *netlist.Elaboration)
+	// ConfigDone streams each configuration's run record — cycles,
+	// kernel stats, wall time — as soon as that configuration finishes.
+	ConfigDone(run rtg.ConfigRun)
+}
+
+// BaseObserver is a no-op Observer to embed.
+type BaseObserver struct{}
+
+// StageBegin implements Observer.
+func (BaseObserver) StageBegin(StageName, string) {}
+
+// StageEnd implements Observer.
+func (BaseObserver) StageEnd(StageName, string, error, time.Duration) {}
+
+// ConfigElaborated implements Observer.
+func (BaseObserver) ConfigElaborated(string, *netlist.Elaboration) {}
+
+// ConfigDone implements Observer.
+func (BaseObserver) ConfigDone(rtg.ConfigRun) {}
+
+// observeStage brackets fn with StageBegin/StageEnd notifications.
+func (p *Pipeline) observeStage(stage StageName, name string, fn func() error) error {
+	for _, o := range p.cfg.Observers {
+		o.StageBegin(stage, name)
+	}
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	for _, o := range p.cfg.Observers {
+		o.StageEnd(stage, name, err, wall)
+	}
+	return err
+}
+
+// ProgressObserver prints one line per completed configuration and per
+// failed stage — the streaming report hsim shows during a simulation.
+type ProgressObserver struct {
+	BaseObserver
+	W io.Writer
+}
+
+// NewProgressObserver reports to w.
+func NewProgressObserver(w io.Writer) *ProgressObserver { return &ProgressObserver{W: w} }
+
+// ConfigDone implements Observer.
+func (p *ProgressObserver) ConfigDone(run rtg.ConfigRun) {
+	fmt.Fprintf(p.W, "configuration %-8s cycles=%-8d events=%-10d final=%-6s kernel=%s wall=%v\n",
+		run.ID, run.Cycles, run.Events, run.FinalState, run.Kernel, run.Wall)
+}
+
+// StageEnd implements Observer.
+func (p *ProgressObserver) StageEnd(stage StageName, name string, err error, _ time.Duration) {
+	if err != nil {
+		fmt.Fprintf(p.W, "stage %s %s: %v\n", stage, name, err)
+	}
+}
+
+// VCDObserver taps every configuration's simulator with a VCD waveform
+// writer, dumping to <prefix>.<cfg>.vcd. The files are closed when the
+// simulate stage ends.
+//
+// Attach one VCDObserver per pipeline run: it closes every open dump
+// when any simulate stage ends, so sharing one instance across
+// concurrently-running cases (e.g. via core.Options.Observers with a
+// parallel Runner) would close files mid-write. The internal state is
+// mutex-guarded, but the close-on-stage-end semantics are inherently
+// per-run.
+type VCDObserver struct {
+	BaseObserver
+	Prefix string
+	// Log, when set, receives one line per dump file created.
+	Log io.Writer
+
+	mu    sync.Mutex
+	files []*os.File
+}
+
+// NewVCDObserver dumps waveforms to <prefix>.<cfg>.vcd, logging each
+// file to log when non-nil.
+func NewVCDObserver(prefix string, log io.Writer) *VCDObserver {
+	return &VCDObserver{Prefix: prefix, Log: log}
+}
+
+// ConfigElaborated implements Observer.
+func (v *VCDObserver) ConfigElaborated(cfgID string, el *netlist.Elaboration) {
+	path := fmt.Sprintf("%s.%s.vcd", v.Prefix, cfgID)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flow: vcd:", err)
+		return
+	}
+	v.mu.Lock()
+	v.files = append(v.files, f)
+	v.mu.Unlock()
+	w := hades.NewVCDWriter(f)
+	w.AddAll(el.Sim)
+	w.Header(cfgID)
+	if v.Log != nil {
+		fmt.Fprintln(v.Log, "vcd:", path)
+	}
+}
+
+// StageEnd implements Observer; it closes the dump files once the
+// simulate stage is over.
+func (v *VCDObserver) StageEnd(stage StageName, _ string, _ error, _ time.Duration) {
+	if stage != StageSimulate {
+		return
+	}
+	v.mu.Lock()
+	files := v.files
+	v.files = nil
+	v.mu.Unlock()
+	for _, f := range files {
+		f.Close()
+	}
+}

@@ -1,0 +1,104 @@
+package hades
+
+// heapQueue is the seed kernel's scheduling core promoted to a real,
+// selectable queue implementation: one binary min-heap keyed by
+// (time, seq), a sift per push and a sift per pop. It preserves the
+// seed's ordering discipline exactly — (time, insertion) — which the
+// two-level queue is property-tested against (queue_test.go), so a full
+// suite run under this kernel is a live cross-check of the fast path.
+// Its cost profile is the seed's too: O(log n) comparisons per event
+// with per-event pop fixups, which is what the benchmark contrast
+// (BenchmarkKernelTwoLevel vs BenchmarkKernelHeapRef) quantifies.
+//
+// Unlike the seed it pools event structs (the boxing the seed paid per
+// push was an artifact of container/heap, not of the algorithm), so the
+// comparison isolates the data-structure choice.
+type heapQueue struct {
+	eventPool
+
+	h []*event // min-heap keyed (at, seq)
+}
+
+func (q *heapQueue) len() int { return len(q.h) }
+
+func (q *heapQueue) schedule(e *event) {
+	h := append(q.h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	q.h = h
+}
+
+// peekTime reports the root's instant. There is no window to move, so
+// deferred is always false and commitTime is a no-op: abandoning a peek
+// (limit reached, interrupt) leaves the heap untouched by construction.
+func (q *heapQueue) peekTime(limit Time) (t Time, deferred, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false, false
+	}
+	t = q.h[0].at
+	if t > limit {
+		return 0, false, false
+	}
+	return t, false, true
+}
+
+func (q *heapQueue) commitTime(Time, bool) {}
+
+// popInstant pops every event at instant t — each with its own
+// sift-down, the per-event fixup cost the two-level queue eliminates —
+// and chains them in (time, seq) pop order, which within one instant is
+// seq order.
+func (q *heapQueue) popInstant(t Time) *event {
+	var head, tail *event
+	for len(q.h) > 0 && q.h[0].at == t {
+		e := q.pop()
+		if tail != nil {
+			tail.next = e
+		} else {
+			head = e
+		}
+		tail = e
+	}
+	return head
+}
+
+func (q *heapQueue) pop() *event {
+	h := q.h
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if kid+1 < n && heapLess(h[kid+1], h[kid]) {
+			kid++
+		}
+		if !heapLess(h[kid], h[i]) {
+			break
+		}
+		h[i], h[kid] = h[kid], h[i]
+		i = kid
+	}
+	q.h = h
+	top.next = nil
+	return top
+}
+
+func heapLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

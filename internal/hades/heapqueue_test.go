@@ -1,0 +1,162 @@
+package hades
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// kernelConstructors enumerates the queue implementations a Simulator
+// can run on, for tests that must hold under every kernel.
+func kernelConstructors() map[string]func() *Simulator {
+	return map[string]func() *Simulator{
+		KernelTwoLevel: NewSimulator,
+		KernelHeapRef:  NewHeapRefSimulator,
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	for want, mk := range kernelConstructors() {
+		if got := mk().Kernel(); got != want {
+			t.Errorf("Kernel() = %q, want %q", got, want)
+		}
+	}
+}
+
+// runMirroredSims replays one randomized schedule on two production
+// Simulators built on different kernels and requires identical reaction
+// traces, final signal values and event counts — the same property the
+// two-level queue is held to against the seed reference model, now
+// between the two selectable backends.
+func runMirroredSims(t *testing.T, seed int64, newA, newB func() *Simulator, nsig, nevents, maxVal, maxDelay int) {
+	t.Helper()
+	simA, simB := newA(), newB()
+	build := func(sim *Simulator) (sigs []*Signal, trace *[]traceEntry) {
+		sigs = make([]*Signal, nsig)
+		trace = &[]traceEntry{}
+		for i := 0; i < nsig; i++ {
+			sigs[i] = sim.NewSignal(fmt.Sprintf("s%d", i), 32)
+		}
+		for i := 0; i < nsig; i++ {
+			i := i
+			mr := &mirrorReactor{fn: func() {
+				v := sigs[i].Uint()
+				*trace = append(*trace, traceEntry{sim.Now(), i, v})
+				if tgt, val, d, ok := follow(i, v, nsig); ok {
+					sim.SetUint(sigs[tgt], val, d)
+				}
+			}}
+			mr.AssignID(i + 1)
+			sigs[i].Listen(mr)
+		}
+		return sigs, trace
+	}
+	sigsA, traceA := build(simA)
+	sigsB, traceB := build(simB)
+
+	rng := rand.New(rand.NewSource(seed))
+	for k := 0; k < nevents; k++ {
+		i := rng.Intn(nsig)
+		v := uint64(rng.Intn(maxVal))
+		d := Time(rng.Intn(maxDelay))
+		simA.SetUint(sigsA[i], v, d)
+		simB.SetUint(sigsB[i], v, d)
+	}
+
+	if _, err := simA.Run(TimeMax); err != nil {
+		t.Fatalf("seed %d: %s: %v", seed, simA.Kernel(), err)
+	}
+	if _, err := simB.Run(TimeMax); err != nil {
+		t.Fatalf("seed %d: %s: %v", seed, simB.Kernel(), err)
+	}
+	if len(*traceA) != len(*traceB) {
+		t.Fatalf("seed %d: trace length %d != %d", seed, len(*traceA), len(*traceB))
+	}
+	for k := range *traceA {
+		if (*traceA)[k] != (*traceB)[k] {
+			t.Fatalf("seed %d: trace[%d] = %+v (%s), %+v (%s)",
+				seed, k, (*traceA)[k], simA.Kernel(), (*traceB)[k], simB.Kernel())
+		}
+	}
+	if simA.Stats().Events != simB.Stats().Events {
+		t.Fatalf("seed %d: events %d != %d", seed, simA.Stats().Events, simB.Stats().Events)
+	}
+	for i := range sigsA {
+		if sigsA[i].Uint() != sigsB[i].Uint() || sigsA[i].Valid() != sigsB[i].Valid() {
+			t.Fatalf("seed %d: signal %d diverged: %d/%v vs %d/%v", seed, i,
+				sigsA[i].Uint(), sigsA[i].Valid(), sigsB[i].Uint(), sigsB[i].Valid())
+		}
+	}
+}
+
+func TestHeapKernelMatchesTwoLevelProperty(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		runMirroredSims(t, seed, NewSimulator, NewHeapRefSimulator, 8, 40, 1000, 3000)
+	}
+}
+
+func TestHeapKernelMatchesTwoLevelDuplicateTimes(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		runMirroredSims(t, seed, NewSimulator, NewHeapRefSimulator, 4, 60, 5, 2600)
+	}
+}
+
+// TestHeapKernelMatchesSeedReference closes the triangle: the promoted
+// heap queue replays the seed scheduling loop itself (heapref_test.go)
+// event for event.
+func TestHeapKernelMatchesSeedReference(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		runMirrored(t, seed, NewHeapRefSimulator, 8, 40, 1000, 3000)
+	}
+}
+
+// TestHeapKernelInterruptPerInstant pins the Run-loop contract that is
+// independent of the queue choice: the interrupt hook is polled once
+// per simulated instant under the heap kernel too, and an interrupted
+// run leaves the remaining events queued.
+func TestHeapKernelInterruptPerInstant(t *testing.T) {
+	sim := NewHeapRefSimulator()
+	a := sim.NewSignal("a", 32)
+	for i := 1; i <= 5; i++ {
+		sim.SetUint(a, uint64(i), Time(i*10))
+	}
+	polls := 0
+	sim.Interrupt = func() bool { polls++; return polls > 2 }
+	end, err := sim.Run(TimeMax)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err=%v want ErrInterrupted", err)
+	}
+	if end != 20 || a.Uint() != 2 {
+		t.Fatalf("end=%v a=%d; want interruption after the 2nd instant", end, a.Uint())
+	}
+	if sim.PendingEvents() != 3 {
+		t.Fatalf("pending=%d, want 3 future events left queued", sim.PendingEvents())
+	}
+}
+
+// TestHeapKernelPoolsEvents: the promoted kernel keeps the free-list
+// win — steady-state traffic reuses pooled event structs instead of
+// re-boxing per push as the seed's container/heap loop did.
+func TestHeapKernelPoolsEvents(t *testing.T) {
+	sim := NewHeapRefSimulator()
+	for k := 0; k < 8; k++ {
+		sig := sim.NewSignal(fmt.Sprintf("ring%d", k), 32)
+		p := Time(k%5 + 3)
+		sig.Listen(&ReactorFunc{Label: "ring", Fn: func(s *Simulator) {
+			s.SetUint(sig, sig.Uint()+1, p)
+		}})
+		sim.SetUint(sig, 1, Time(k+1))
+	}
+	if _, err := sim.Run(20000); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := sim.Run(sim.Now() + 500); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state heap kernel allocates %v objects per 500-tick window, want 0", avg)
+	}
+}

@@ -2,6 +2,53 @@ package hades
 
 import "math/bits"
 
+// kernelQueue is the scheduling core behind a Simulator: it owns every
+// pending future event (the same-instant delta FIFO lives in the
+// Simulator itself). Two implementations exist — the two-level queue
+// below (the default) and the promoted seed heap kernel in heapqueue.go
+// — selectable per simulator so the flow layer can expose them as
+// backends and the suite can run identically under both.
+//
+// The contract mirrors the Run loop's needs: peekTime finds the
+// earliest queued instant without committing window movement (the
+// caller may abandon it on a limit or interrupt), commitTime finalises
+// a peeked instant, and popInstant hands back the whole (time) batch as
+// a seq-ordered chain. alloc/release pool event structs so the steady
+// state schedules without allocating.
+type kernelQueue interface {
+	alloc() *event
+	release(*event)
+	len() int
+	schedule(*event)
+	peekTime(limit Time) (t Time, deferred bool, ok bool)
+	commitTime(t Time, deferred bool)
+	popInstant(t Time) *event
+}
+
+// eventPool is the intrusive free list shared by the queue
+// implementations; the event's chain pointer doubles as the pool link.
+type eventPool struct {
+	free *event
+}
+
+// alloc takes an event from the pool, or allocates one.
+func (p *eventPool) alloc() *event {
+	if e := p.free; e != nil {
+		p.free = e.next
+		e.next = nil
+		return e
+	}
+	return &event{}
+}
+
+// release returns a processed event to the pool. The signal pointer is
+// dropped so the pool never outlives a signal's reachability.
+func (p *eventPool) release(e *event) {
+	e.sig = nil
+	e.next = p.free
+	p.free = e
+}
+
 // Two-level event queue. The kernel spends almost all of its cycle
 // budget scheduling and popping events, so the structure is tuned for
 // the traffic an HDL simulation actually produces: the overwhelming
@@ -50,7 +97,9 @@ type event struct {
 	next *event
 }
 
-type eventQueue struct {
+type twoLevelQueue struct {
+	eventPool
+
 	laneHead [laneCount]*event
 	laneTail [laneCount]*event
 	laneBits [laneWords]uint64 // occupancy bitmap over the lane ring
@@ -59,33 +108,13 @@ type eventQueue struct {
 	scan     Time              // no lane event is earlier than this
 
 	overflow []*event // min-heap keyed (at, seq)
-
-	free *event // pooled event structs
-}
-
-// alloc takes an event from the pool, or allocates one.
-func (q *eventQueue) alloc() *event {
-	if e := q.free; e != nil {
-		q.free = e.next
-		e.next = nil
-		return e
-	}
-	return &event{}
-}
-
-// release returns a processed event to the pool. The signal pointer is
-// dropped so the pool never outlives a signal's reachability.
-func (q *eventQueue) release(e *event) {
-	e.sig = nil
-	e.next = q.free
-	q.free = e
 }
 
 // len reports the number of queued events (lanes + overflow).
-func (q *eventQueue) len() int { return q.laneLive + len(q.overflow) }
+func (q *twoLevelQueue) len() int { return q.laneLive + len(q.overflow) }
 
 // windowEnd returns base+laneCount saturated at TimeMax.
-func (q *eventQueue) windowEnd() Time {
+func (q *twoLevelQueue) windowEnd() Time {
 	end := q.base + laneCount
 	if end < q.base {
 		return TimeMax
@@ -95,7 +124,7 @@ func (q *eventQueue) windowEnd() Time {
 
 // schedule files a future event (e.at is strictly after the current
 // instant, which guarantees it is at or after scan).
-func (q *eventQueue) schedule(e *event) {
+func (q *twoLevelQueue) schedule(e *event) {
 	if e.at < q.windowEnd() {
 		q.pushLane(e)
 		return
@@ -103,7 +132,7 @@ func (q *eventQueue) schedule(e *event) {
 	q.pushOverflow(e)
 }
 
-func (q *eventQueue) pushLane(e *event) {
+func (q *twoLevelQueue) pushLane(e *event) {
 	// A limit-bounded run may have advanced scan onto an instant beyond
 	// its limit without processing it; an event scheduled afterwards can
 	// legally land earlier, so pull scan back to keep its invariant.
@@ -130,7 +159,7 @@ func (q *eventQueue) pushLane(e *event) {
 // keeps the window invariant `base <= now` at every point where user
 // code can schedule: an event scheduled after an abandoned peek can
 // never land behind the window and alias a lane.
-func (q *eventQueue) peekTime(limit Time) (t Time, fromOverflow, ok bool) {
+func (q *twoLevelQueue) peekTime(limit Time) (t Time, fromOverflow, ok bool) {
 	if q.laneLive == 0 {
 		if len(q.overflow) == 0 {
 			return 0, false, false
@@ -151,7 +180,7 @@ func (q *eventQueue) peekTime(limit Time) (t Time, fromOverflow, ok bool) {
 
 // commitTime finalises a peeked instant: a far instant rebases the
 // window onto it and migrates its in-window overflow companions.
-func (q *eventQueue) commitTime(t Time, fromOverflow bool) {
+func (q *twoLevelQueue) commitTime(t Time, fromOverflow bool) {
 	if fromOverflow {
 		q.rebase(t)
 	}
@@ -164,7 +193,7 @@ func (q *eventQueue) commitTime(t Time, fromOverflow bool) {
 // Every set bit names a real event time in [scan, windowEnd): lane
 // events are confined to the window and none precede scan, so a bit at
 // ring distance d from scan is the instant scan+d with no ambiguity.
-func (q *eventQueue) nextLaneTime() Time {
+func (q *twoLevelQueue) nextLaneTime() Time {
 	pos := int(q.scan) & laneMask
 	wi := pos >> 6
 	bit := pos & 63
@@ -184,7 +213,7 @@ func (q *eventQueue) nextLaneTime() Time {
 
 // popInstant removes and returns the whole chain of events at instant t
 // (which must come from nextTime), in seq order.
-func (q *eventQueue) popInstant(t Time) *event {
+func (q *twoLevelQueue) popInstant(t Time) *event {
 	idx := int(t) & laneMask
 	head := q.laneHead[idx]
 	q.laneHead[idx], q.laneTail[idx] = nil, nil
@@ -200,7 +229,7 @@ func (q *eventQueue) popInstant(t Time) *event {
 // with the lanes empty) and migrates every overflow event inside the
 // new window into the lanes. Migration pops in (at, seq) order, so lane
 // chains stay seq-ordered.
-func (q *eventQueue) rebase(t Time) {
+func (q *twoLevelQueue) rebase(t Time) {
 	q.base, q.scan = t, t
 	end := q.windowEnd()
 	for len(q.overflow) > 0 && q.overflow[0].at < end {
@@ -208,12 +237,12 @@ func (q *eventQueue) rebase(t Time) {
 	}
 }
 
-func (q *eventQueue) pushOverflow(e *event) {
+func (q *twoLevelQueue) pushOverflow(e *event) {
 	h := append(q.overflow, e)
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !overflowLess(h[i], h[parent]) {
+		if !heapLess(h[i], h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
@@ -222,7 +251,7 @@ func (q *eventQueue) pushOverflow(e *event) {
 	q.overflow = h
 }
 
-func (q *eventQueue) popOverflow() *event {
+func (q *twoLevelQueue) popOverflow() *event {
 	h := q.overflow
 	top := h[0]
 	n := len(h) - 1
@@ -235,10 +264,10 @@ func (q *eventQueue) popOverflow() *event {
 		if kid >= n {
 			break
 		}
-		if kid+1 < n && overflowLess(h[kid+1], h[kid]) {
+		if kid+1 < n && heapLess(h[kid+1], h[kid]) {
 			kid++
 		}
-		if !overflowLess(h[kid], h[i]) {
+		if !heapLess(h[kid], h[i]) {
 			break
 		}
 		h[i], h[kid] = h[kid], h[i]
@@ -247,11 +276,4 @@ func (q *eventQueue) popOverflow() *event {
 	q.overflow = h
 	top.next = nil
 	return top
-}
-
-func overflowLess(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
 }

@@ -44,9 +44,9 @@ type mirrorReactor struct {
 func (m *mirrorReactor) Name() string     { return "mirror" }
 func (m *mirrorReactor) React(*Simulator) { m.fn() }
 
-func runMirrored(t *testing.T, seed int64, nsig, nevents, maxVal, maxDelay int) {
+func runMirrored(t *testing.T, seed int64, newSim func() *Simulator, nsig, nevents, maxVal, maxDelay int) {
 	t.Helper()
-	sim := NewSimulator()
+	sim := newSim()
 	ref := newHeapSim()
 	sigs := make([]*Signal, nsig)
 	refs := make([]*refSignal, nsig)
@@ -115,7 +115,7 @@ func runMirrored(t *testing.T, seed int64, nsig, nevents, maxVal, maxDelay int) 
 
 func TestQueueOrderMatchesHeapProperty(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
-		runMirrored(t, seed, 8, 40, 1000, 3000)
+		runMirrored(t, seed, NewSimulator, 8, 40, 1000, 3000)
 	}
 }
 
@@ -124,7 +124,7 @@ func TestQueueOrderDuplicateTimes(t *testing.T) {
 	// suppression, and repeated (time, seq) collisions around the
 	// lane-window boundary.
 	for seed := int64(100); seed < 130; seed++ {
-		runMirrored(t, seed, 4, 60, 5, 2600)
+		runMirrored(t, seed, NewSimulator, 4, 60, 5, 2600)
 	}
 }
 

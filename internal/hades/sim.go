@@ -55,10 +55,11 @@ var ErrInterrupted = errors.New("hades: run interrupted")
 // instant or delta is popped in one step with no per-event ordering
 // work.
 type Simulator struct {
-	now   Time
-	delta int
-	seq   uint64
-	q     eventQueue
+	now    Time
+	delta  int
+	seq    uint64
+	q      kernelQueue
+	kernel string // kernelQueue implementation name (KernelTwoLevel, ...)
 
 	// nextDelta chains the zero-delay events of the current instant in
 	// insertion order; they run as one batch at delta s.delta+1.
@@ -88,14 +89,39 @@ type Simulator struct {
 	nextID  int
 }
 
-// NewSimulator returns an empty simulator.
+// Kernel names for the queue implementations behind a Simulator. The
+// flow package registers one simulator backend per kernel.
+const (
+	KernelTwoLevel = "twolevel" // two-level time-bucketed queue (queue.go)
+	KernelHeapRef  = "heapref"  // seed binary-heap kernel (heapqueue.go)
+)
+
+// NewSimulator returns an empty simulator on the default two-level
+// queue kernel.
 func NewSimulator() *Simulator {
+	return newSimulator(&twoLevelQueue{}, KernelTwoLevel)
+}
+
+// NewHeapRefSimulator returns an empty simulator on the promoted seed
+// heap kernel — the reference scheduling discipline the two-level queue
+// is property-tested against, available as a real backend so suites can
+// cross-check full runs under both kernels.
+func NewHeapRefSimulator() *Simulator {
+	return newSimulator(&heapQueue{}, KernelHeapRef)
+}
+
+func newSimulator(q kernelQueue, kernel string) *Simulator {
 	return &Simulator{
+		q:         q,
+		kernel:    kernel,
 		MaxDeltas: 10000,
 		pending:   make(map[Reactor]bool),
 		ids:       make(map[Reactor]int),
 	}
 }
+
+// Kernel reports which queue implementation drives this simulator.
+func (s *Simulator) Kernel() string { return s.kernel }
 
 // NewSignal creates and registers a signal of the given width (1..64).
 func (s *Simulator) NewSignal(name string, width int) *Signal {

@@ -19,38 +19,56 @@ import (
 )
 
 // Options tunes RTG execution.
+//
+// ClockPeriod, MaxCycles and MaxConfigs are required: this package
+// deliberately has no numeric defaults of its own. The single source of
+// truth for defaulting is internal/flow (flow.DefaultClockPeriod and
+// friends); every production caller reaches the controller through a
+// flow.Pipeline, which always fills these in.
 type Options struct {
-	Registry    *operators.Registry // nil: default
-	ClockPeriod hades.Time          // default 10 ticks
-	MaxCycles   uint64              // per configuration; default 10M
-	MaxConfigs  int                 // reconfiguration bound; default 1024
+	Registry    *operators.Registry // nil: operators.DefaultRegistry()
+	ClockPeriod hades.Time          // required; > 0
+	MaxCycles   uint64              // per configuration; required
+	MaxConfigs  int                 // reconfiguration bound; required
+	// NewSimulator builds the event kernel for each configuration
+	// (nil: hades.NewSimulator). The flow backend registry selects the
+	// kernel through this hook.
+	NewSimulator func() *hades.Simulator
 	// LocalInit seeds non-shared memories/stimuli per configuration id
 	// and operator id (contents typically come from the I/O files).
 	LocalInit map[string]map[string][]int64
 	// Observer, when set, is called with each configuration's live
 	// elaboration before the run starts (probe/VCD attachment hook).
 	Observer func(cfgID string, el *netlist.Elaboration)
+	// AfterConfig, when set, is called with each configuration's run
+	// record as soon as that configuration completes — the streaming
+	// progress hook behind flow observers, fired even when a later
+	// configuration fails.
+	AfterConfig func(run ConfigRun)
 	// Context, when set, cancels execution: it is checked before each
 	// configuration and polled by the event kernel once per simulated
 	// instant, so per-case timeouts stop a running simulation promptly.
 	Context context.Context
 }
 
-func (o *Options) withDefaults() Options {
+func (o *Options) withDefaults() (Options, error) {
 	out := *o
 	if out.Registry == nil {
 		out.Registry = operators.DefaultRegistry()
 	}
+	if out.NewSimulator == nil {
+		out.NewSimulator = hades.NewSimulator
+	}
 	if out.ClockPeriod <= 0 {
-		out.ClockPeriod = 10
+		return out, fmt.Errorf("rtg: Options.ClockPeriod must be positive (construct options through internal/flow, which supplies the defaults)")
 	}
 	if out.MaxCycles == 0 {
-		out.MaxCycles = 10_000_000
+		return out, fmt.Errorf("rtg: Options.MaxCycles must be set (construct options through internal/flow, which supplies the defaults)")
 	}
-	if out.MaxConfigs == 0 {
-		out.MaxConfigs = 1024
+	if out.MaxConfigs <= 0 {
+		return out, fmt.Errorf("rtg: Options.MaxConfigs must be positive (construct options through internal/flow, which supplies the defaults)")
 	}
-	return out
+	return out, nil
 }
 
 // ConfigRun reports one executed configuration.
@@ -61,6 +79,8 @@ type ConfigRun struct {
 	Completed  bool
 	FinalState string
 	Events     uint64
+	Stats      hades.Stats        // full kernel counters for this configuration
+	Kernel     string             // kernel the configuration ran on
 	Wall       time.Duration      // host wall-clock time of the simulation
 	Sinks      map[string][]int64 // recorded sink streams by operator id
 }
@@ -82,7 +102,10 @@ type Controller struct {
 // NewController validates the design and prepares the shared store
 // (zero-filled; use LoadMemory to seed contents from files).
 func NewController(design *xmlspec.Design, opts Options) (*Controller, error) {
-	o := opts.withDefaults()
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := xmlspec.ValidateDesign(design, o.Registry); err != nil {
 		return nil, err
 	}
@@ -92,6 +115,10 @@ func NewController(design *xmlspec.Design, opts Options) (*Controller, error) {
 	}
 	return c, nil
 }
+
+// Options returns the effective (defaulted) options the controller
+// runs with; the flow defaults test observes them here.
+func (c *Controller) Options() Options { return c.opts }
 
 // LoadMemory seeds a shared memory's contents before execution.
 func (c *Controller) LoadMemory(id string, words []int64) error {
@@ -154,6 +181,9 @@ func (c *Controller) Execute() (*ExecResult, error) {
 			return res, err
 		}
 		res.Runs = append(res.Runs, *run)
+		if c.opts.AfterConfig != nil {
+			c.opts.AfterConfig(*run)
+		}
 		res.TotalCycles += run.Cycles
 		if !run.Completed {
 			res.Completed = false
@@ -184,7 +214,7 @@ func (c *Controller) runConfiguration(cfg *xmlspec.Configuration) (*ConfigRun, e
 		}
 	}
 
-	sim := hades.NewSimulator()
+	sim := c.opts.NewSimulator()
 	if ctx := c.opts.Context; ctx != nil {
 		sim.Interrupt = func() bool { return ctx.Err() != nil }
 	}
@@ -219,6 +249,8 @@ func (c *Controller) runConfiguration(cfg *xmlspec.Configuration) (*ConfigRun, e
 		Completed:  rr.Completed,
 		FinalState: rr.FinalState,
 		Events:     sim.Stats().Events,
+		Stats:      sim.Stats(),
+		Kernel:     sim.Kernel(),
 		Wall:       wall,
 		Sinks:      map[string][]int64{},
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/hades"
 	"repro/internal/netlist"
 	"repro/internal/xmlspec"
 )
@@ -96,7 +97,7 @@ func twoPartitionDesign(n int64) *xmlspec.Design {
 func TestTwoPartitionPipeline(t *testing.T) {
 	const n = 8
 	d := twoPartitionDesign(n)
-	c, err := NewController(d, Options{})
+	c, err := NewController(d, testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSharedMemoryPersistsOnlyThroughStore(t *testing.T) {
 	// Running twice with fresh inputs must not leak previous contents.
 	const n = 4
 	d := twoPartitionDesign(n)
-	c, err := NewController(d, Options{})
+	c, err := NewController(d, testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestSharedMemoryPersistsOnlyThroughStore(t *testing.T) {
 
 func TestMemoryReturnsCopy(t *testing.T) {
 	d := twoPartitionDesign(4)
-	c, err := NewController(d, Options{})
+	c, err := NewController(d, testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestMemoryReturnsCopy(t *testing.T) {
 
 func TestLoadMemoryErrors(t *testing.T) {
 	d := twoPartitionDesign(4)
-	c, _ := NewController(d, Options{})
+	c, _ := NewController(d, testOptions())
 	if err := c.LoadMemory("ghost", nil); err == nil {
 		t.Fatal("unknown memory must error")
 	}
@@ -198,7 +199,7 @@ func TestLoadMemoryErrors(t *testing.T) {
 
 func TestLoadMemoryClearsTail(t *testing.T) {
 	d := twoPartitionDesign(4)
-	c, _ := NewController(d, Options{})
+	c, _ := NewController(d, testOptions())
 	if err := c.LoadMemory("ma", []int64{7, 7, 7, 7}); err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestLoadMemoryClearsTail(t *testing.T) {
 
 func TestIncompleteRunReported(t *testing.T) {
 	d := twoPartitionDesign(8)
-	c, err := NewController(d, Options{MaxCycles: 3})
+	c, err := NewController(d, func() Options { o := testOptions(); o.MaxCycles = 3; return o }())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestRTGCycleBound(t *testing.T) {
 	// Make the graph loop: cfg2 -> cfg1.
 	d.RTG.Transitions = append(d.RTG.Transitions,
 		xmlspec.RTGTransition{From: "cfg2", To: "cfg1"})
-	c, err := NewController(d, Options{MaxConfigs: 5})
+	c, err := NewController(d, func() Options { o := testOptions(); o.MaxConfigs = 5; return o }())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,14 +248,14 @@ func TestRTGCycleBound(t *testing.T) {
 func TestObserverHookSeesEveryConfiguration(t *testing.T) {
 	d := twoPartitionDesign(4)
 	var seen []string
-	c, err := NewController(d, Options{
-		Observer: func(id string, el *netlist.Elaboration) {
-			seen = append(seen, id)
-			if el.Machine == nil {
-				t.Error("observer got unbound elaboration")
-			}
-		},
-	})
+	opts := testOptions()
+	opts.Observer = func(id string, el *netlist.Elaboration) {
+		seen = append(seen, id)
+		if el.Machine == nil {
+			t.Error("observer got unbound elaboration")
+		}
+	}
+	c, err := NewController(d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestObserverHookSeesEveryConfiguration(t *testing.T) {
 
 func TestMemoryIDs(t *testing.T) {
 	d := twoPartitionDesign(4)
-	c, _ := NewController(d, Options{})
+	c, _ := NewController(d, testOptions())
 	ids := c.MemoryIDs()
 	if len(ids) != 3 || ids[0] != "ma" || ids[2] != "mc" {
 		t.Fatalf("ids=%v", ids)
@@ -278,7 +279,99 @@ func TestMemoryIDs(t *testing.T) {
 func TestInvalidDesignRejected(t *testing.T) {
 	d := twoPartitionDesign(4)
 	d.RTG.Start = "nope"
-	if _, err := NewController(d, Options{}); err == nil {
+	if _, err := NewController(d, testOptions()); err == nil {
 		t.Fatal("invalid design must be rejected")
+	}
+}
+
+// testOptions supplies the explicit bounds the controller requires —
+// generous enough never to bind in these tests. It intentionally does
+// NOT claim to be the flow defaults: the canonical values live only in
+// internal/flow (an import cycle for this in-package test), and
+// flow_test.TestRTGObservesFlowDefaults checks that a flow-built
+// controller carries them.
+func testOptions() Options {
+	return Options{ClockPeriod: 10, MaxCycles: 10_000_000, MaxConfigs: 1024}
+}
+
+func TestOptionsRequireExplicitBounds(t *testing.T) {
+	d := twoPartitionDesign(4)
+	for name, opts := range map[string]Options{
+		"zero":        {},
+		"no-period":   {MaxCycles: 1000, MaxConfigs: 4},
+		"no-cycles":   {ClockPeriod: 10, MaxConfigs: 4},
+		"no-configs":  {ClockPeriod: 10, MaxCycles: 1000},
+		"neg-period":  {ClockPeriod: -1, MaxCycles: 1000, MaxConfigs: 4},
+		"neg-configs": {ClockPeriod: 10, MaxCycles: 1000, MaxConfigs: -2},
+	} {
+		if _, err := NewController(d, opts); err == nil {
+			t.Errorf("%s: underspecified options must be rejected", name)
+		} else if !strings.Contains(err.Error(), "internal/flow") {
+			t.Errorf("%s: error must point at the flow defaults, got %v", name, err)
+		}
+	}
+}
+
+func TestEffectiveOptionsExposed(t *testing.T) {
+	d := twoPartitionDesign(4)
+	c, err := NewController(d, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := c.Options()
+	want := testOptions()
+	if o.ClockPeriod != want.ClockPeriod || o.MaxCycles != want.MaxCycles || o.MaxConfigs != want.MaxConfigs {
+		t.Fatalf("effective options %+v, want the values passed in", o)
+	}
+	if o.Registry == nil || o.NewSimulator == nil {
+		t.Fatal("Registry and NewSimulator must be defaulted")
+	}
+}
+
+func TestAfterConfigStreamsRuns(t *testing.T) {
+	d := twoPartitionDesign(4)
+	opts := testOptions()
+	var streamed []string
+	opts.AfterConfig = func(run ConfigRun) {
+		streamed = append(streamed, run.ID)
+		if run.Kernel == "" || run.Stats.Events == 0 || !run.Completed {
+			t.Errorf("run %s missing kernel/stats: %+v", run.ID, run)
+		}
+	}
+	c, err := NewController(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadMemory("ma", []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Runs) || streamed[0] != "cfg1" || streamed[1] != "cfg2" {
+		t.Fatalf("streamed=%v runs=%d", streamed, len(res.Runs))
+	}
+}
+
+func TestNewSimulatorHookSelectsKernel(t *testing.T) {
+	d := twoPartitionDesign(4)
+	opts := testOptions()
+	opts.NewSimulator = hades.NewHeapRefSimulator
+	c, err := NewController(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadMemory("ma", []int64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range res.Runs {
+		if run.Kernel != hades.KernelHeapRef {
+			t.Fatalf("run %s on kernel %q, want heapref", run.ID, run.Kernel)
+		}
 	}
 }

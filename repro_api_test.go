@@ -1,0 +1,50 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPI exercises the root re-exports of the flow pipeline —
+// the documented entry point (examples/quickstart) must keep working
+// against exactly this surface.
+func TestPublicAPI(t *testing.T) {
+	src := repro.Source{
+		Name:       "pub",
+		Text:       `void twice(int[] a, int n) { for (int i = 0; i < n; i = i + 1) { a[i] = 2 * a[i]; } }`,
+		Func:       "twice",
+		ArraySizes: map[string]int{"a": 4},
+		ScalarArgs: map[string]int64{"n": 4},
+		Inputs:     map[string][]int64{"a": {1, 2, 3, 4}},
+	}
+	var progress strings.Builder
+	out, err := repro.Run(src,
+		repro.WithBackend(repro.DefaultBackend),
+		repro.WithClock(repro.DefaultClockPeriod),
+		repro.WithObserver(repro.NewProgressObserver(&progress)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("verdict: %+v", out.Verdict)
+	}
+	if got := out.Sim.Memories["a"]; len(got) != 4 || got[3] != 8 {
+		t.Fatalf("a=%v", got)
+	}
+	if !strings.Contains(progress.String(), "configuration") {
+		t.Fatalf("progress=%q", progress.String())
+	}
+	names := repro.Backends()
+	if names[0] != repro.DefaultBackend {
+		t.Fatalf("Backends()=%v", names)
+	}
+	if _, err := repro.LookupBackend("heapref"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repro.New(repro.WithBackend("bogus")); err == nil {
+		t.Fatal("bogus backend must fail")
+	}
+}
