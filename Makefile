@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test quickstart race bench bench-update bench-go cover lint fmt fmt-check vet ci
+.PHONY: build test quickstart race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -49,14 +49,19 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# lint always vets; staticcheck (the SA bug analyses, as in CI) runs
-# when the binary is installed — `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1`.
-lint: vet
+# lint always vets and checks the markdown links (README + docs/);
+# staticcheck (the SA bug analyses plus ST1000 package comments, as in
+# CI) runs when the binary is installed —
+# `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1`.
+lint: vet linkcheck
 	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck -checks 'SA*' ./...; \
+		staticcheck -checks 'SA*,ST1000' ./...; \
 	else \
-		echo "staticcheck not installed; ran go vet only"; \
+		echo "staticcheck not installed; ran go vet + linkcheck only"; \
 	fi
+
+linkcheck:
+	$(GO) test -run TestMarkdownLinks .
 
 fmt:
 	gofmt -w .

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	bench -list                      # show the scenario registry
+//	bench -list                      # show the scenario registry (name, family, pinned)
+//	bench -list-workloads            # show the workload families and their parameters
 //	bench -list-backends             # show the registered simulator backends
 //	bench                            # run the pinned set, write BENCH_*.json to .
 //	bench -backend heapref           # same scenarios on the heap kernel
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/flow"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -33,16 +35,17 @@ func main() {
 
 func run() error {
 	var (
-		list         = flag.Bool("list", false, "list scenarios and exit")
-		listBackends = flag.Bool("list-backends", false, "list registered simulator backends and exit")
-		backend      = flag.String("backend", flow.DefaultBackend, "simulator backend to run the scenarios on")
-		selector     = flag.String("scenarios", "pinned", "scenarios to run: pinned, all, or comma-separated names")
-		reps         = flag.Int("reps", 3, "timed repetitions per scenario (best events/sec wins)")
-		out          = flag.String("out", ".", "directory for BENCH_<name>.json files")
-		baseline     = flag.String("baseline", "", "baseline directory to compare against (exit 1 on regression)")
-		threshold    = flag.Float64("threshold", 0.25, "allowed events/sec regression vs baseline (0.25 = fail below 75%)")
-		update       = flag.Bool("update-baseline", false, "write results into -baseline instead of comparing")
-		asJSON       = flag.Bool("json", false, "emit one JSON object per scenario on stdout")
+		list          = flag.Bool("list", false, "list scenarios and exit")
+		listWorkloads = flag.Bool("list-workloads", false, "list workload families with their parameters and exit")
+		listBackends  = flag.Bool("list-backends", false, "list registered simulator backends and exit")
+		backend       = flag.String("backend", flow.DefaultBackend, "simulator backend to run the scenarios on")
+		selector      = flag.String("scenarios", "pinned", "scenarios to run: pinned, all, or comma-separated names")
+		reps          = flag.Int("reps", 3, "timed repetitions per scenario (best events/sec wins)")
+		out           = flag.String("out", ".", "directory for BENCH_<name>.json files")
+		baseline      = flag.String("baseline", "", "baseline directory to compare against (exit 1 on regression)")
+		threshold     = flag.Float64("threshold", 0.25, "allowed events/sec regression vs baseline (0.25 = fail below 75%)")
+		update        = flag.Bool("update-baseline", false, "write results into -baseline instead of comparing")
+		asJSON        = flag.Bool("json", false, "emit one JSON object per scenario on stdout")
 	)
 	flag.Parse()
 
@@ -51,6 +54,16 @@ func run() error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+	if *listWorkloads {
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		for _, w := range workloads.All() {
+			fmt.Fprintf(tw, "%s\t%s\n", w.Name(), w.Doc())
+			for _, p := range w.Params() {
+				fmt.Fprintf(tw, "  %s=%d\t%s [%d, %d]\n", p.Name, p.Default, p.Doc, p.Min, p.Max)
+			}
+		}
+		return tw.Flush()
 	}
 	if _, err := flow.LookupBackend(*backend); err != nil {
 		return err
@@ -63,7 +76,11 @@ func run() error {
 			if sc.Pinned {
 				pin = "pinned"
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%s\n", sc.Name, pin, sc.Desc)
+			family := sc.Family
+			if family == "" {
+				family = "-"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", sc.Name, family, pin, sc.Desc)
 		}
 		return tw.Flush()
 	}

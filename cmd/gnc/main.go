@@ -2,7 +2,10 @@
 // it compiles MiniJ functions into the datapath/fsm/rtg XML dialects
 // and, on request, their dot/java/hds translations, or verifies each
 // compiled function against the golden interpreter with the parallel
-// suite runner — all through the flow pipeline API.
+// suite runner — all through the flow pipeline API. Instead of a
+// source file, -workload materializes a registry workload (source,
+// sizes, inputs and reference expectations all derived from the
+// family's parameters).
 //
 // Usage:
 //
@@ -10,6 +13,8 @@
 //	    -size out=4096 -arg nblocks=64 -out build/ -emit
 //	gnc -src lib.mj -func f,g,h -verify -j 4 -failfast -json
 //	gnc -src lib.mj -func f -verify -backend heapref
+//	gnc -workload fir,n=1024,taps=16 -out build/ -emit
+//	gnc -workload matmul,n=32 -verify
 package main
 
 import (
@@ -44,48 +49,85 @@ func run() error {
 		verify   = flag.Bool("verify", false, "simulate each compiled function and verify against the golden interpreter")
 		sizes    = cliutil.KVInts{}
 		args     = cliutil.KVInt64s{}
+		workload cliutil.WorkloadSpec
 		rf       cliutil.RunnerFlags
 		ff       cliutil.FlowFlags
 	)
 	flag.Var(sizes, "size", "array size: name=depth (repeatable)")
 	flag.Var(args, "arg", "scalar argument: name=value (repeatable)")
+	workload.Register(nil)
 	rf.Register(nil)
 	ff.Register(nil)
 	flag.Parse()
+	if workload.Name != "" {
+		if *srcPath != "" || *funcName != "" {
+			return fmt.Errorf("-workload and -src/-func are mutually exclusive")
+		}
+		if len(sizes) > 0 || len(args) > 0 {
+			return fmt.Errorf("-workload derives sizes and arguments from its parameters; pass them inside the spec (e.g. -workload %s,param=value) instead of -size/-arg", workload.Name)
+		}
+		// The reference model only matters when verifying; compile-only
+		// runs build the inputs alone.
+		c, err := workload.CaseInputs()
+		if *verify {
+			c, err = workload.Case()
+		}
+		if err != nil {
+			return err
+		}
+		return drive([]core.TestCase{core.WorkloadCase(c)}, false,
+			*outDir, *width, *auto, *emit, *verify, rf, ff)
+	}
 	if *srcPath == "" || *funcName == "" {
 		flag.Usage()
-		return fmt.Errorf("-src and -func are required")
+		return fmt.Errorf("-src and -func are required (or -workload)")
 	}
 	src, err := os.ReadFile(*srcPath)
 	if err != nil {
 		return err
 	}
+	funcs := strings.Split(*funcName, ",")
+	cases := make([]core.TestCase, 0, len(funcs))
+	for _, fn := range funcs {
+		fn = strings.TrimSpace(fn)
+		cases = append(cases, core.TestCase{
+			Name:       fn,
+			Source:     string(src),
+			Func:       fn,
+			ArraySizes: sizes,
+			ScalarArgs: args,
+		})
+	}
+	return drive(cases, len(cases) > 1, *outDir, *width, *auto, *emit, *verify, rf, ff)
+}
+
+// drive compiles every case, writes its artifacts (under a per-case
+// subdirectory when perCaseDir is set), and — with -verify — runs the
+// cases through the parallel suite runner, the same machinery the
+// testsuite command uses for the regression suite.
+func drive(cases []core.TestCase, perCaseDir bool, outDir string, width, auto int,
+	emit, verify bool, rf cliutil.RunnerFlags, ff cliutil.FlowFlags) error {
 	pipe, err := flow.New(append(ff.Options(),
-		flow.WithWidth(*width), flow.WithAutoPartitions(*auto))...)
+		flow.WithWidth(width), flow.WithAutoPartitions(auto))...)
 	if err != nil {
 		return err
 	}
 	// In -verify -json mode stdout must stay pure JSON Lines; route the
 	// compile listing to stderr.
 	info := io.Writer(os.Stdout)
-	if *verify && rf.JSON {
+	if verify && rf.JSON {
 		info = os.Stderr
 	}
-	funcs := strings.Split(*funcName, ",")
-	for _, fn := range funcs {
-		fn = strings.TrimSpace(fn)
-		dir := *outDir
-		if len(funcs) > 1 {
-			dir = filepath.Join(*outDir, fn)
+	for _, tc := range cases {
+		dir := outDir
+		if perCaseDir {
+			dir = filepath.Join(outDir, tc.Name)
 		}
-		compiled, err := pipe.Compile(flow.Source{
-			Name: fn, Text: string(src), Func: fn,
-			ArraySizes: sizes, ScalarArgs: args,
-		})
+		compiled, err := pipe.Compile(tc.FlowSource())
 		if err != nil {
 			return err
 		}
-		files, err := flow.WriteDesignArtifacts(compiled.Design, dir, *emit)
+		files, err := flow.WriteDesignArtifacts(compiled.Design, dir, emit)
 		if err != nil {
 			return err
 		}
@@ -96,28 +138,10 @@ func run() error {
 			fmt.Fprintf(info, "%s: datapath=%s operators=%d states=%d\n", m.ID, m.Datapath, m.Operators, m.States)
 		}
 	}
-	if !*verify {
+	if !verify {
 		return nil
 	}
-	return verifyFuncs(string(src), funcs, sizes, args, *width, *auto, rf, ff)
-}
-
-// verifyFuncs runs the full compile→simulate→golden-compare flow for
-// each function through the parallel suite runner, the same machinery
-// the testsuite command uses for the regression suite.
-func verifyFuncs(src string, funcs []string, sizes map[string]int, args map[string]int64,
-	width, auto int, rf cliutil.RunnerFlags, ff cliutil.FlowFlags) error {
-	suite := &core.Suite{Name: "gnc-verify"}
-	for _, fn := range funcs {
-		fn = strings.TrimSpace(fn)
-		suite.Cases = append(suite.Cases, core.TestCase{
-			Name:       fn,
-			Source:     src,
-			Func:       fn,
-			ArraySizes: sizes,
-			ScalarArgs: args,
-		})
-	}
+	suite := &core.Suite{Name: "gnc-verify", Cases: cases}
 	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
 	res := runner.Run(context.Background(), suite, core.Options{
 		Width:          width,

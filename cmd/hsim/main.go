@@ -3,11 +3,15 @@
 // the reconfiguration flow through the flow pipeline on a selectable
 // simulator backend, and writes the resulting memory contents back next
 // to the inputs. Per-configuration progress is streamed as it happens.
+// Instead of a bundle on disk, -workload compiles a registry workload
+// in-process, seeds its generated inputs, and verifies the simulated
+// memories against the family's pure-Go reference model.
 //
 // Usage:
 //
 //	hsim -design build/ -mem img=img.mem -cycles 10000000 -vcd waves
 //	hsim -design build/ -backend heapref
+//	hsim -workload newton,n=1024 -backend heapref -vcd waves
 package main
 
 import (
@@ -31,24 +35,33 @@ func main() {
 
 func run() error {
 	var (
-		designDir = flag.String("design", "build", "directory holding rtg.xml and companions")
+		designDir = flag.String("design", "build", "directory holding rtg.xml and companions (or the output directory with -workload)")
 		vcdPrefix = flag.String("vcd", "", "dump VCD waveforms to <prefix>.<cfg>.vcd")
 		mems      = cliutil.KVStrings{}
+		workload  cliutil.WorkloadSpec
 		ff        cliutil.FlowFlags
 	)
 	flag.Var(mems, "mem", "shared memory contents: name=file (repeatable)")
+	workload.Register(nil)
 	ff.Register(nil)
 	flag.Parse()
 
-	design, err := xmlspec.LoadDesign(*designDir)
-	if err != nil {
-		return err
-	}
 	opts := append(ff.Options(), flow.WithObserver(flow.NewProgressObserver(os.Stdout)))
 	if *vcdPrefix != "" {
 		opts = append(opts, flow.WithObserver(flow.NewVCDObserver(*vcdPrefix, os.Stdout)))
 	}
 	pipe, err := flow.New(opts...)
+	if err != nil {
+		return err
+	}
+	if workload.Name != "" {
+		if len(mems) > 0 {
+			return fmt.Errorf("-workload generates its own memory contents; -mem applies to -design bundles")
+		}
+		return runWorkload(pipe, workload, *designDir)
+	}
+
+	design, err := xmlspec.LoadDesign(*designDir)
 	if err != nil {
 		return err
 	}
@@ -94,5 +107,56 @@ func run() error {
 		fmt.Println("wrote", out)
 	}
 	fmt.Printf("total cycles: %d\n", res.TotalCycles)
+	return nil
+}
+
+// runWorkload drives the full staged pipeline for a registry workload:
+// compile the emitted MiniJ, elaborate, seed the generated inputs,
+// simulate, verify against the family's reference model, and dump the
+// simulated memories under outDir.
+func runWorkload(pipe *flow.Pipeline, spec cliutil.WorkloadSpec, outDir string) error {
+	c, err := spec.Case()
+	if err != nil {
+		return err
+	}
+	compiled, err := pipe.Compile(flow.Source{
+		Name: c.Name, Text: c.Source, Func: c.Func,
+		ArraySizes: c.ArraySizes, ScalarArgs: c.ScalarArgs,
+		Inputs: c.Inputs, Expected: c.Expected,
+	})
+	if err != nil {
+		return err
+	}
+	el, err := pipe.Elaborate(compiled)
+	if err != nil {
+		return err
+	}
+	res, err := pipe.Simulate(el)
+	if err != nil {
+		return err
+	}
+	if !res.Completed {
+		return fmt.Errorf("simulation incomplete (cycle cap %d)", pipe.Config().MaxCycles)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range el.MemoryIDs() {
+		out := filepath.Join(outDir, id+".out.mem")
+		if err := memfile.Save(out, res.Memories[id], "simulated contents of "+id); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+	fmt.Printf("total cycles: %d\n", res.TotalCycles)
+	verdict, err := pipe.Verify(compiled, res)
+	if err != nil {
+		return err
+	}
+	if !verdict.Passed {
+		return fmt.Errorf("workload %s: simulated memories diverge from the reference model: %v",
+			spec.Name, verdict.Failed())
+	}
+	fmt.Printf("verified against the %s reference model\n", spec.Name)
 	return nil
 }

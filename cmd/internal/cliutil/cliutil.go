@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/hades"
+	"repro/internal/workloads"
 )
 
 // FlowFlags bundles the pipeline flags shared by the tools that
@@ -66,6 +67,83 @@ func (f *RunnerFlags) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&f.Timeout, "timeout", 0, "per-case timeout; a case exceeding it fails (0 = none)")
 	fs.BoolVar(&f.FailFast, "failfast", false, "cancel pending cases after the first failure")
 	fs.BoolVar(&f.JSON, "json", false, "emit one JSON object per case instead of the text report")
+}
+
+// WorkloadSpec is the parsed value of the -workload flag shared by the
+// tools that materialize registry workloads (gnc, hsim):
+// "name[,param=value...]", e.g. "fir,n=1024,taps=16". The zero value
+// means no workload was selected (Name empty).
+type WorkloadSpec struct {
+	Name   string
+	Values workloads.Values
+}
+
+// Register installs the flag on fs (the default flag.CommandLine when
+// fs is nil).
+func (s *WorkloadSpec) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.Var(s, "workload",
+		"registry workload to materialize: name[,param=value...] (names: "+
+			strings.Join(workloads.Names(), ", ")+")")
+}
+
+// String renders the current value in the flag's own syntax.
+func (s *WorkloadSpec) String() string {
+	if s == nil || s.Name == "" {
+		return ""
+	}
+	if len(s.Values) == 0 {
+		return s.Name
+	}
+	return s.Name + "," + s.Values.String()
+}
+
+// Set parses one name[,param=value...] spec.
+func (s *WorkloadSpec) Set(arg string) error {
+	parts := strings.Split(arg, ",")
+	if parts[0] == "" {
+		return fmt.Errorf("empty workload name in %q", arg)
+	}
+	if strings.Contains(parts[0], "=") {
+		return fmt.Errorf("workload name must come before parameters in %q", arg)
+	}
+	vals := workloads.Values{}
+	for _, part := range parts[1:] {
+		if part == "" {
+			continue
+		}
+		name, val, err := splitKV(part)
+		if err != nil {
+			return err
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad value in %q: %v", part, err)
+		}
+		vals[name] = v
+	}
+	s.Name = parts[0]
+	s.Values = vals
+	return nil
+}
+
+// Case materializes the selected workload through the registry —
+// unknown names and invalid parameters surface here, with the
+// registry's self-describing errors.
+func (s *WorkloadSpec) Case() (*workloads.Case, error) {
+	return workloads.Build(s.Name, s.Values)
+}
+
+// CaseInputs is Case without running the reference model — for
+// compile-only paths that never verify.
+func (s *WorkloadSpec) CaseInputs() (*workloads.Case, error) {
+	w, err := workloads.Lookup(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.BuildWorkloadInputs(w, s.Values)
 }
 
 // KVInts collects repeated -flag name=int values.

@@ -134,6 +134,71 @@ func TestFlowFlagsParse(t *testing.T) {
 	}
 }
 
+func TestWorkloadSpecParse(t *testing.T) {
+	var s WorkloadSpec
+	if err := s.Set("fir,n=1024,taps=16"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "fir" || s.Values["n"] != 1024 || s.Values["taps"] != 16 {
+		t.Fatalf("s=%+v", s)
+	}
+	if got := s.String(); got != "fir,n=1024,taps=16" {
+		t.Fatalf("String() = %q", got)
+	}
+	c, err := s.Case()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workload != "fir" || c.ArraySizes["y"] != 1024 || len(c.Expected["y"]) != 1024 {
+		t.Fatalf("case %+v", c)
+	}
+
+	// Bare name: defaults resolve at Build time.
+	s = WorkloadSpec{}
+	if err := s.Set("hamming"); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "hamming" || len(s.Values) != 0 {
+		t.Fatalf("s=%+v", s)
+	}
+	if _, err := s.Case(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registry errors surface through Case with self-describing messages.
+	s = WorkloadSpec{}
+	if err := s.Set("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Case(); err == nil {
+		t.Fatal("unknown workload must fail Case()")
+	}
+	s = WorkloadSpec{}
+	if err := s.Set("matmul,n=9999"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Case(); err == nil {
+		t.Fatal("out-of-range parameter must fail Case()")
+	}
+}
+
+func TestWorkloadSpecMalformed(t *testing.T) {
+	for _, bad := range []string{"", ",n=4", "n=4", "fir,=4", "fir,n", "fir,n=", "fir,n=zz", "fir,n=4x"} {
+		var s WorkloadSpec
+		if err := s.Set(bad); err == nil {
+			t.Errorf("Set(%q) must fail", bad)
+		}
+	}
+	// A trailing comma is tolerated (shell editing artifact).
+	var s WorkloadSpec
+	if err := s.Set("fir,"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "fir" || len(s.Values) != 0 {
+		t.Fatalf("s=%+v", s)
+	}
+}
+
 func TestKVMalformedInputs(t *testing.T) {
 	for _, bad := range []string{"", "=", "=5", "noequals", "a=", "a=notanum", "a=99999999999999999999"} {
 		if err := (KVInts{}).Set(bad); err == nil {

@@ -1,6 +1,9 @@
 // Command testsuite is the ANT-build analog: one command re-verifies the
-// compiler's regression suite by functional simulation against the golden
-// algorithm, and optionally regenerates the paper's Table I.
+// compiler's regression suite by functional simulation against each
+// workload family's golden reference model, and optionally regenerates
+// the paper's Table I. The suite is registry-driven: every family in
+// internal/workloads contributes its suite-preset case, so a newly
+// registered workload is regression-tested with no changes here.
 //
 // Usage:
 //
@@ -9,8 +12,8 @@
 //	testsuite -json           # one JSON object per case (CI artifacts)
 //	testsuite -failfast -timeout 30s
 //	testsuite -backend heapref # run the whole suite on the heap kernel
-//	testsuite -table1         # reproduce Table I (FDCT1/FDCT2/Hamming)
-//	testsuite -pixels 65536   # Table I FDCTs over a larger image
+//	testsuite -table1         # reproduce Table I (plus the newer families)
+//	testsuite -pixels 65536   # FDCT cases over a larger image
 package main
 
 import (
@@ -52,7 +55,10 @@ func run() error {
 		ClockPeriod:   ff.Period,
 		MaxCycles:     ff.Cycles,
 	}
-	suite := regressionSuite(*pixels, *words)
+	suite, err := regressionSuite(*pixels, *words)
+	if err != nil {
+		return err
+	}
 	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
 	if *table1 {
 		return runTable1(suite, runner, *pixels, *words, opts, rf.JSON)
@@ -71,21 +77,15 @@ func run() error {
 	return nil
 }
 
-func regressionSuite(pixels, words int) *core.Suite {
-	s := &core.Suite{Name: "compiler-regression"}
-	add := func(tc core.TestCase) { s.Cases = append(s.Cases, tc) }
-
-	src, sizes, args, inputs := workloads.FDCTCase("fdct1", pixels, false, 42)
-	add(core.TestCase{Name: "fdct1", Source: src, Func: "fdct",
-		ArraySizes: sizes, ScalarArgs: args, Inputs: inputs})
-	src2, sizes2, args2, inputs2 := workloads.FDCTCase("fdct2", pixels, true, 42)
-	add(core.TestCase{Name: "fdct2", Source: src2, Func: "fdct",
-		ArraySizes: sizes2, ScalarArgs: args2, Inputs: inputs2})
-	hs, ha, hi, hx := workloads.HammingCase(words, 9)
-	add(core.TestCase{Name: "hamming", Source: workloads.HammingSource, Func: "hamming",
-		ArraySizes: hs, ScalarArgs: ha, Inputs: hi,
-		Expected: map[string][]int64{"out": hx}})
-	return s
+// regressionSuite derives the suite from the workload registry: every
+// family's suite preset, with the historical -pixels/-words flags
+// scaling the FDCT and Hamming cases.
+func regressionSuite(pixels, words int) (*core.Suite, error) {
+	return core.RegistrySuite("compiler-regression", map[string]workloads.Values{
+		"fdct1":   {"pixels": pixels},
+		"fdct2":   {"pixels": pixels},
+		"hamming": {"words": words},
+	})
 }
 
 // runTable1 regenerates the paper's Table I. The cases run through the

@@ -1,0 +1,70 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinks walks README.md and docs/ and verifies that every
+// relative link target exists, so the architecture docs cannot silently
+// rot as files move. External (scheme-qualified) links, pure anchors
+// and targets that resolve outside the repository (e.g. the CI badge's
+// GitHub-relative path) are skipped — only repo-local references are
+// checkable offline. CI runs this as the "markdown link check" step of
+// the lint job.
+func TestMarkdownLinks(t *testing.T) {
+	root, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, rel)
+	}
+	if len(files) < 5 { // README + ARCHITECTURE/FLOW/KERNEL/WORKLOADS
+		t.Fatalf("only %d markdown files found; docs/ missing?", len(files))
+	}
+	checked := 0
+	for _, file := range files {
+		doc, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(doc), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checkable offline
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(root, filepath.Dir(file), target)
+			rel, err := filepath.Rel(root, resolved)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				continue // escapes the repo (e.g. the Actions badge); not checkable
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%s)", file, m[1], rel)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no repo-local links checked; the doc set should cross-reference itself")
+	}
+}

@@ -37,6 +37,7 @@ type RunFunc func() (Measure, error)
 type Scenario struct {
 	Name    string
 	Desc    string
+	Family  string // workload-registry family the scenario derives from ("" for kernel/handcrafted scenarios)
 	Pinned  bool   // part of the CI regression set
 	Backend string // simulator backend the scenario executes on
 	Prepare func() (RunFunc, error)

@@ -105,6 +105,22 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// TestScenarioNamesUnique guards the seam between the hand-rolled
+// scenarios (kernel traffic, handcrafted design) and the
+// registry-derived ones: the workload registry enforces preset-name
+// uniqueness among families but cannot know bench's static names, and a
+// duplicate would make Select ambiguous and silently overwrite
+// BENCH_<name>.json files.
+func TestScenarioNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+}
+
 func TestSelect(t *testing.T) {
 	all := Scenarios()
 	pinned, err := Select("pinned", all)

@@ -42,35 +42,35 @@ func ScenariosFor(backend string) []Scenario {
 		// without the compiler in the loop.
 		{Name: "handcrafted-acc", Desc: "stimulus-fed accumulator over 4096 words (examples/handcrafted)",
 			Pinned: true, Prepare: prepareHandcrafted(backend)},
-
-		// The paper's evaluation workloads end to end through the RTG;
-		// wall time is the simulation only.
-		e2eScenario(backend, "fdct1-1024", "FDCT single configuration, 1024-pixel image", true,
-			func() core.TestCase { return fdctCase("fdct1", 1024, false) }, core.Options{}),
-		e2eScenario(backend, "fdct2-1024", "FDCT two configurations, 1024-pixel image", true,
-			func() core.TestCase { return fdctCase("fdct2", 1024, true) }, core.Options{}),
-		e2eScenario(backend, "hamming-256", "Hamming(7,4) decode of 256 codewords", true,
-			func() core.TestCase { return hammingCase(256) }, core.Options{}),
-		e2eScenario(backend, "fdct1-4096", "FDCT single configuration, paper-sized 4096-pixel image", false,
-			func() core.TestCase { return fdctCase("fdct1", 4096, false) }, core.Options{}),
-		e2eScenario(backend, "fdct2-4096", "FDCT two configurations, paper-sized 4096-pixel image", false,
-			func() core.TestCase { return fdctCase("fdct2", 4096, true) }, core.Options{}),
 	}
 
-	// rtg-generated designs at several datapath widths: the same
-	// Hamming source compiled at width 8/16/32 and executed through the
-	// reconfiguration controller (no golden check; this times the
-	// generated architecture, not the verification contract).
-	for _, w := range []int{8, 16, 32} {
+	// Every registered workload family's bench presets, end to end
+	// through the RTG; wall time is the simulation only. Width presets
+	// (rtg-hamming-w8/16/32) time the architecture the compiler
+	// generates at that datapath width; the golden check is not in the
+	// timed path for any of them.
+	for _, w := range workloads.All() {
 		w := w
-		list = append(list, e2eScenario(
-			backend,
-			fmt.Sprintf("rtg-hamming-w%d", w),
-			fmt.Sprintf("Hamming decoder compiled at datapath width %d", w),
-			true,
-			func() core.TestCase { return hammingCase(64) },
-			core.Options{Width: w},
-		))
+		for _, p := range w.Presets() {
+			if p.Suite {
+				continue // suite-sized parameterizations belong to the regression suite
+			}
+			p := p
+			sc := e2eScenario(backend, p.Name, p.Desc, p.Pinned,
+				func() (core.TestCase, error) {
+					// Inputs only: the timed path never verifies, so the
+					// reference model would be computed just to be discarded.
+					c, err := workloads.BuildWorkloadInputs(w, p.Values)
+					if err != nil {
+						return core.TestCase{}, err
+					}
+					c.Name = p.Name
+					return core.WorkloadCase(c), nil
+				},
+				core.Options{Width: p.Width})
+			sc.Family = w.Name()
+			list = append(list, sc)
+		}
 	}
 	sort.SliceStable(list, func(i, j int) bool { return list[i].Name < list[j].Name })
 	for i := range list {
@@ -192,29 +192,20 @@ func buildFarTimers(sim *hades.Simulator) {
 
 // --- end-to-end scenarios ---------------------------------------------------
 
-func fdctCase(name string, pixels int, two bool) core.TestCase {
-	src, sizes, args, inputs := workloads.FDCTCase(name, pixels, two, 42)
-	return core.TestCase{Name: name, Source: src, Func: "fdct",
-		ArraySizes: sizes, ScalarArgs: args, Inputs: inputs}
-}
-
-func hammingCase(words int) core.TestCase {
-	sizes, args, inputs, _ := workloads.HammingCase(words, 9)
-	return core.TestCase{Name: "hamming", Source: workloads.HammingSource, Func: "hamming",
-		ArraySizes: sizes, ScalarArgs: args, Inputs: inputs}
-}
-
 // e2eScenario compiles the case once, then per iteration walks the RTG
 // on fresh simulators. Wall is the sum of the per-configuration
 // simulation walls: compile, memory seeding and controller setup are
 // excluded, so events/sec tracks the kernel, not the frontend.
-func e2eScenario(backend, name, desc string, pinned bool, tc func() core.TestCase, opts core.Options) Scenario {
+func e2eScenario(backend, name, desc string, pinned bool, tc func() (core.TestCase, error), opts core.Options) Scenario {
 	return Scenario{
 		Name:   name,
 		Desc:   desc,
 		Pinned: pinned,
 		Prepare: func() (RunFunc, error) {
-			c := tc()
+			c, err := tc()
+			if err != nil {
+				return nil, err
+			}
 			design, err := core.CompileOnly(c, opts)
 			if err != nil {
 				return nil, err

@@ -72,9 +72,9 @@ type TestCase struct {
 	ArraySizes map[string]int
 	ScalarArgs map[string]int64
 	Inputs     map[string][]int64
-	// Expected optionally pins exact expected contents per array; when
-	// nil the golden interpreter's result is the expectation (the
-	// paper's flow).
+	// Expected optionally pins exact expected contents per array,
+	// checked on top of the golden interpreter's result (the paper's
+	// flow); an array matching the interpreter but not its pin fails.
 	Expected map[string][]int64
 }
 

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// WorkloadCase renders a materialized workload as a suite test case.
+// The workload's reference-model expectations become the case's pinned
+// Expected contents, so the verify stage compares the simulation
+// against the pure-Go golden model (arrays the model omits fall back to
+// the golden interpreter).
+func WorkloadCase(c *workloads.Case) TestCase {
+	return TestCase{
+		Name:       c.Name,
+		Source:     c.Source,
+		Func:       c.Func,
+		ArraySizes: c.ArraySizes,
+		ScalarArgs: c.ScalarArgs,
+		Inputs:     c.Inputs,
+		Expected:   c.Expected,
+	}
+}
+
+// RegistrySuite builds the regression suite from the workload registry:
+// one case per suite preset of every registered family, in registry
+// order. overrides, keyed by family name, merges extra parameter values
+// over a preset's own (e.g. {"fdct1": {"pixels": 1024}} shrinks the
+// FDCT image, the testsuite command's -pixels flag).
+func RegistrySuite(name string, overrides map[string]workloads.Values) (*Suite, error) {
+	s := &Suite{Name: name}
+	for _, w := range workloads.All() {
+		for _, p := range w.Presets() {
+			if !p.Suite {
+				continue
+			}
+			v := p.Values.Clone()
+			for k, val := range overrides[w.Name()] {
+				v[k] = val
+			}
+			c, err := workloads.BuildWorkload(w, v)
+			if err != nil {
+				return nil, fmt.Errorf("core: suite case %s: %w", p.Name, err)
+			}
+			c.Name = p.Name
+			s.Cases = append(s.Cases, WorkloadCase(c))
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/workloads"
+)
+
+// smallSuite shrinks the heavyweight families so the cross-backend
+// matrix below stays fast; the remaining families run their suite
+// presets as-is.
+var smallSuite = map[string]workloads.Values{
+	"fdct1":   {"pixels": 256},
+	"fdct2":   {"pixels": 256},
+	"hamming": {"words": 16},
+}
+
+// TestRegistrySuiteVerifiesOnEveryBackend is the end-to-end acceptance
+// check of the workload registry: every registered family's suite case
+// must compile, simulate and verify against its pure-Go reference model
+// on every registered simulator backend.
+func TestRegistrySuiteVerifiesOnEveryBackend(t *testing.T) {
+	for _, backend := range flow.Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			suite, err := RegistrySuite("registry-"+backend, smallSuite)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(suite.Cases) != len(workloads.Names()) {
+				t.Fatalf("suite has %d cases for %d families", len(suite.Cases), len(workloads.Names()))
+			}
+			for _, c := range suite.Cases {
+				if len(c.Expected) == 0 {
+					t.Fatalf("%s: no reference-model expectations pinned", c.Name)
+				}
+			}
+			res := (&Runner{Workers: 2}).Run(context.Background(), suite,
+				Options{Backend: backend})
+			for _, r := range res.Results {
+				if r.Err != nil {
+					t.Errorf("%s: %v", r.Name, r.Err)
+					continue
+				}
+				if !r.Passed {
+					t.Errorf("%s: verification failed: %v", r.Name, r.Failed())
+				}
+			}
+			if !res.Passed() {
+				t.Fatalf("registry suite failed on backend %s", backend)
+			}
+		})
+	}
+}
+
+// TestRegistrySuiteOverrides pins the override plumbing the testsuite
+// command's -pixels/-words flags rely on.
+func TestRegistrySuiteOverrides(t *testing.T) {
+	suite, err := RegistrySuite("s", map[string]workloads.Values{
+		"fdct1":   {"pixels": 128},
+		"hamming": {"words": 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TestCase{}
+	for _, c := range suite.Cases {
+		byName[c.Name] = c
+	}
+	if got := byName["fdct1"].ArraySizes["img"]; got != 128 {
+		t.Fatalf("fdct1 img size = %d", got)
+	}
+	if got := byName["hamming"].ArraySizes["in"]; got != 5 {
+		t.Fatalf("hamming in size = %d", got)
+	}
+	// Unoverridden families keep their suite-preset sizes.
+	if got := byName["matmul"].ScalarArgs["n"]; got != 8 {
+		t.Fatalf("matmul n = %d", got)
+	}
+	if _, err := RegistrySuite("s", map[string]workloads.Values{
+		"fdct1": {"pixels": -1},
+	}); err == nil {
+		t.Fatal("out-of-range override must fail suite construction")
+	}
+}

@@ -1,0 +1,122 @@
+package workloads
+
+// ErasureSource is the MiniJ single-erasure parity decoder — the
+// (k+1, k) MDS code that generalizes the Hamming family from bit errors
+// to symbol erasures (after Li & Gastpar's cooperative data exchange on
+// MDS codes). Each stripe carries k data symbols plus their XOR parity;
+// one symbol per stripe is erased (zeroed) at a known position, and the
+// decoder reconstructs it as the XOR of the survivors before emitting
+// the k recovered data symbols.
+const ErasureSource = `
+// (k+1, k) single-erasure decoder: stripes of k data symbols + XOR
+// parity; epos[s] is the erased position, out gets the recovered data.
+void erasure(int[] in, int[] epos, int[] out, int n, int k) {
+  int s;
+  for (s = 0; s < n; s = s + 1) {
+    int base = s * (k + 1);
+    int e = epos[s];
+    int x = 0;
+    int j;
+    for (j = 0; j < k + 1; j = j + 1) {
+      if (j != e) {
+        x = x ^ in[base + j];
+      }
+    }
+    int d;
+    for (d = 0; d < k; d = d + 1) {
+      int v = in[base + d];
+      if (d == e) {
+        v = x;
+      }
+      out[s * k + d] = v;
+    }
+  }
+}
+`
+
+// GenStripes produces n deterministic stripes of k 8-bit data symbols
+// plus their XOR parity, then erases (zeroes) one symbol per stripe at
+// a pseudo-random position. It returns the received symbols
+// (stripe-major, k+1 per stripe), the erased positions, and the
+// original data (stripe-major, k per stripe) the decoder must recover.
+func GenStripes(n, k int, seed uint64) (received, epos, data []int64) {
+	received = make([]int64, n*(k+1))
+	epos = make([]int64, n)
+	data = make([]int64, n*k)
+	s := newLCG(seed)
+	for st := 0; st < n; st++ {
+		var parity int64
+		for d := 0; d < k; d++ {
+			sym := int64(s.next() & 0xFF)
+			data[st*k+d] = sym
+			received[st*(k+1)+d] = sym
+			parity ^= sym
+		}
+		received[st*(k+1)+k] = parity
+		e := int(s.next() % uint64(k+1))
+		epos[st] = int64(e)
+		received[st*(k+1)+e] = 0
+	}
+	return received, epos, data
+}
+
+// RefErasure is the pure-Go golden model: per stripe, the erased symbol
+// is the XOR of the survivors; the output is the recovered data block.
+func RefErasure(received, epos []int64, n, k int) []int64 {
+	out := make([]int64, n*k)
+	for st := 0; st < n; st++ {
+		base := st * (k + 1)
+		e := int(epos[st])
+		var x int64
+		for j := 0; j <= k; j++ {
+			if j != e {
+				x ^= received[base+j]
+			}
+		}
+		for d := 0; d < k; d++ {
+			v := received[base+d]
+			if d == e {
+				v = x
+			}
+			out[st*k+d] = v
+		}
+	}
+	return out
+}
+
+func init() {
+	MustRegister(&Family{
+		FamilyName: "erasure",
+		FamilyDoc:  "(k+1, k) MDS single-erasure parity decoder over striped symbol streams",
+		Schema: []Param{
+			{Name: "k", Doc: "data symbols per stripe", Default: 8, Min: 2, Max: 16},
+			{Name: "stripes", Doc: "stripe count", Default: 64, Min: 1, Max: 1 << 16},
+			{Name: "seed", Doc: "symbol and erasure-position PRNG seed", Default: 5, Min: 0, Max: 1 << 30},
+		},
+		PresetList: []Preset{
+			{Name: "erasure-k8", Desc: "single-erasure decode, 64 stripes of 8+1 symbols",
+				Values: Values{"k": 8, "stripes": 64}, Pinned: true},
+			{Name: "erasure-k16", Desc: "single-erasure decode, 64 stripes of 16+1 symbols",
+				Values: Values{"k": 16, "stripes": 64}},
+			{Name: "erasure", Desc: "regression-suite single-erasure decode, 16 stripes of 4+1 symbols",
+				Values: Values{"k": 4, "stripes": 16}, Suite: true},
+		},
+		EmitSource: func(Values) (string, string) { return ErasureSource, "erasure" },
+		GenInputs: func(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+			k, n := v["k"], v["stripes"]
+			received, epos, _ := GenStripes(n, k, uint64(v["seed"]))
+			sizes := map[string]int{"in": n * (k + 1), "epos": n, "out": n * k}
+			args := map[string]int64{"n": int64(n), "k": int64(k)}
+			inputs := map[string][]int64{"in": received, "epos": epos}
+			return sizes, args, inputs
+		},
+		Golden: func(v Values, inputs map[string][]int64) map[string][]int64 {
+			k, n := v["k"], v["stripes"]
+			return map[string][]int64{
+				"in":   cloneWords(inputs["in"]),
+				"epos": cloneWords(inputs["epos"]),
+				"out":  RefErasure(inputs["in"], inputs["epos"], n, k),
+			}
+		},
+	})
+}

@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DCTShift is the fixed-point scale of the DCT coefficients (2^DCTShift).
+const DCTShift = 10
+
+// dctCoef returns the scaled integer DCT-II coefficient C[u][x].
+func dctCoef(u, x int) int64 {
+	alpha := 0.5
+	if u == 0 {
+		alpha = math.Sqrt(0.125) // 1/(2*sqrt(2)) * 2 = sqrt(1/8)
+	}
+	c := alpha * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16.0)
+	return int64(math.Round(c * float64(int64(1)<<DCTShift)))
+}
+
+// dctPassSource emits the straight-line 8-point DCT for one row or
+// column: src[off + k*stride] -> dst[off + k*stride].
+func dctPassSource(b *strings.Builder, src, dst, off string, stride int) {
+	idx := func(k int) string {
+		if k == 0 {
+			return off
+		}
+		if stride == 1 {
+			return fmt.Sprintf("%s + %d", off, k)
+		}
+		return fmt.Sprintf("%s + %d", off, k*stride)
+	}
+	for k := 0; k < 8; k++ {
+		fmt.Fprintf(b, "      int x%d = %s[%s];\n", k, src, idx(k))
+	}
+	for u := 0; u < 8; u++ {
+		terms := make([]string, 0, 8)
+		for x := 0; x < 8; x++ {
+			c := dctCoef(u, x)
+			switch {
+			case c == 0:
+				continue
+			case c < 0:
+				terms = append(terms, fmt.Sprintf("- x%d * %d", x, -c))
+			case len(terms) == 0:
+				terms = append(terms, fmt.Sprintf("x%d * %d", x, c))
+			default:
+				terms = append(terms, fmt.Sprintf("+ x%d * %d", x, c))
+			}
+		}
+		fmt.Fprintf(b, "      %s[%s] = (%s) >> %d;\n", dst, idx(u), strings.Join(terms, " "), DCTShift)
+	}
+}
+
+// FDCTSource generates the MiniJ source of the 8x8 block FDCT. When
+// twoConfigurations is true a partition marker splits the row pass
+// (img -> tmp) from the column pass (tmp -> out), yielding the paper's
+// FDCT2 implementation; otherwise both passes form one configuration
+// (FDCT1). Images are stored as consecutive 8x8 blocks of 64 pixels.
+func FDCTSource(twoConfigurations bool) string {
+	var b strings.Builder
+	b.WriteString("// 8x8 block fast DCT: row pass into tmp, column pass into out.\n")
+	b.WriteString("void fdct(int[] img, int[] tmp, int[] out, int nblocks) {\n")
+	b.WriteString("  int b;\n")
+	b.WriteString("  for (b = 0; b < nblocks; b = b + 1) {\n")
+	b.WriteString("    int r;\n")
+	b.WriteString("    for (r = 0; r < 8; r = r + 1) {\n")
+	b.WriteString("      int o = b * 64 + r * 8;\n")
+	dctPassSource(&b, "img", "tmp", "o", 1)
+	b.WriteString("    }\n")
+	b.WriteString("  }\n")
+	if twoConfigurations {
+		b.WriteString("  partition;\n")
+	}
+	b.WriteString("  int b2;\n")
+	b.WriteString("  for (b2 = 0; b2 < nblocks; b2 = b2 + 1) {\n")
+	b.WriteString("    int c;\n")
+	b.WriteString("    for (c = 0; c < 8; c = c + 1) {\n")
+	b.WriteString("      int o = b2 * 64 + c;\n")
+	dctPassSource(&b, "tmp", "out", "o", 8)
+	b.WriteString("    }\n")
+	b.WriteString("  }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// GenImage produces a deterministic pseudo-random 8-bit image of the
+// given pixel count (a multiple of 64 for whole blocks).
+func GenImage(pixels int, seed uint64) []int64 {
+	img := make([]int64, pixels)
+	s := newLCG(seed)
+	for i := range img {
+		img[i] = int64(s.next() & 0xFF)
+	}
+	return img
+}
+
+// FDCTCase builds the core test case for an FDCT run over the given
+// number of pixels (rounded down to whole blocks).
+func FDCTCase(name string, pixels int, twoConfigurations bool, seed uint64) (src string, sizes map[string]int, args map[string]int64, inputs map[string][]int64) {
+	blocks := pixels / 64
+	pixels = blocks * 64
+	src = FDCTSource(twoConfigurations)
+	sizes = map[string]int{"img": pixels, "tmp": pixels, "out": pixels}
+	args = map[string]int64{"nblocks": int64(blocks)}
+	inputs = map[string][]int64{"img": GenImage(pixels, seed)}
+	return src, sizes, args, inputs
+}
+
+// refDCTPass is the reference 8-point pass: src[off+k*stride] ->
+// dst[off+u*stride], the same scaled-integer arithmetic the emitted
+// source performs.
+func refDCTPass(src, dst []int64, off, stride int) {
+	var x [8]int64
+	for k := 0; k < 8; k++ {
+		x[k] = src[off+k*stride]
+	}
+	for u := 0; u < 8; u++ {
+		var acc int64
+		for k := 0; k < 8; k++ {
+			acc = wrap32(acc + wrap32(x[k]*dctCoef(u, k)))
+		}
+		dst[off+u*stride] = wrap32(acc >> DCTShift)
+	}
+}
+
+// RefFDCT is the pure-Go golden model of the block FDCT: the row pass
+// writes tmp, the column pass writes out. It is the verification
+// expectation of the fdct1/fdct2 families.
+func RefFDCT(img []int64, blocks int) (tmp, out []int64) {
+	tmp = make([]int64, len(img))
+	out = make([]int64, len(img))
+	for b := 0; b < blocks; b++ {
+		for r := 0; r < 8; r++ {
+			refDCTPass(img, tmp, b*64+r*8, 1)
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		for c := 0; c < 8; c++ {
+			refDCTPass(tmp, out, b*64+c, 8)
+		}
+	}
+	return tmp, out
+}
+
+// fdctFamily builds the fdct1 (single-configuration) or fdct2
+// (two-configuration) registry family.
+func fdctFamily(name string, two bool, doc string, presets []Preset) *Family {
+	return &Family{
+		FamilyName: name,
+		FamilyDoc:  doc,
+		Schema: []Param{
+			{Name: "pixels", Doc: "image size in pixels (rounded down to whole 64-pixel blocks)",
+				Default: 4096, Min: 64, Max: 1 << 20},
+			{Name: "seed", Doc: "input image PRNG seed", Default: 42, Min: 0, Max: 1 << 30},
+		},
+		PresetList: presets,
+		EmitSource: func(Values) (string, string) { return FDCTSource(two), "fdct" },
+		GenInputs: func(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+			_, sizes, args, inputs := FDCTCase(name, v["pixels"], two, uint64(v["seed"]))
+			return sizes, args, inputs
+		},
+		Golden: func(v Values, inputs map[string][]int64) map[string][]int64 {
+			img := inputs["img"]
+			tmp, out := RefFDCT(img, len(img)/64)
+			return map[string][]int64{"img": cloneWords(img), "tmp": tmp, "out": out}
+		},
+	}
+}
+
+func init() {
+	MustRegister(fdctFamily("fdct1", false,
+		"8x8 block fast DCT, both passes in one configuration (the paper's FDCT1)",
+		[]Preset{
+			{Name: "fdct1-1024", Desc: "FDCT single configuration, 1024-pixel image",
+				Values: Values{"pixels": 1024}, Pinned: true},
+			{Name: "fdct1-4096", Desc: "FDCT single configuration, paper-sized 4096-pixel image",
+				Values: Values{"pixels": 4096}},
+			{Name: "fdct1", Desc: "regression-suite FDCT, single configuration",
+				Values: Values{"pixels": 4096}, Suite: true},
+		}))
+	MustRegister(fdctFamily("fdct2", true,
+		"8x8 block fast DCT, row and column passes in two temporal partitions (the paper's FDCT2)",
+		[]Preset{
+			{Name: "fdct2-1024", Desc: "FDCT two configurations, 1024-pixel image",
+				Values: Values{"pixels": 1024}, Pinned: true},
+			{Name: "fdct2-4096", Desc: "FDCT two configurations, paper-sized 4096-pixel image",
+				Values: Values{"pixels": 4096}},
+			{Name: "fdct2", Desc: "regression-suite FDCT, two configurations",
+				Values: Values{"pixels": 4096}, Suite: true},
+		}))
+}

@@ -1,0 +1,98 @@
+package workloads
+
+// FIRShift is the fixed-point scale of the FIR accumulator (output is
+// the accumulator arithmetically shifted right by FIRShift).
+const FIRShift = 5
+
+// FIRSource is the MiniJ streaming FIR filter: y[i] is the dot product
+// of the taps with a sliding window over x, scaled down by FIRShift.
+// x carries taps-1 warm-up samples so every output has a full window.
+const FIRSource = `
+// Streaming FIR filter: y[i] = (sum_t h[t] * x[i + t]) >> 5.
+void fir(int[] x, int[] h, int[] y, int n, int taps) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int acc = 0;
+    int t;
+    for (t = 0; t < taps; t = t + 1) {
+      acc = acc + h[t] * x[i + t];
+    }
+    y[i] = acc >> 5;
+  }
+}
+`
+
+// GenSamples produces a deterministic pseudo-random 8-bit sample stream.
+func GenSamples(n int, seed uint64) []int64 {
+	x := make([]int64, n)
+	s := newLCG(seed)
+	for i := range x {
+		x[i] = int64(s.next() & 0xFF)
+	}
+	return x
+}
+
+// GenTaps produces deterministic signed filter coefficients in
+// [-16, 15].
+func GenTaps(taps int, seed uint64) []int64 {
+	h := make([]int64, taps)
+	s := newLCG(seed)
+	for i := range h {
+		h[i] = int64(s.next()&0x1F) - 16
+	}
+	return h
+}
+
+// RefFIR is the pure-Go golden model of the FIR filter: n outputs, each
+// the tap/window dot product arithmetically shifted right by FIRShift,
+// with 32-bit wrap-around accumulation.
+func RefFIR(x, h []int64, n, taps int) []int64 {
+	y := make([]int64, n)
+	for i := 0; i < n; i++ {
+		var acc int64
+		for t := 0; t < taps; t++ {
+			acc = wrap32(acc + wrap32(h[t]*x[i+t]))
+		}
+		y[i] = wrap32(acc >> FIRShift)
+	}
+	return y
+}
+
+func init() {
+	MustRegister(&Family{
+		FamilyName: "fir",
+		FamilyDoc:  "streaming FIR filter: sliding tap/window dot products over a sample stream",
+		Schema: []Param{
+			{Name: "n", Doc: "output sample count", Default: 256, Min: 1, Max: 1 << 20},
+			{Name: "taps", Doc: "filter tap count", Default: 8, Min: 1, Max: 64},
+			{Name: "seed", Doc: "sample and coefficient PRNG seed", Default: 3, Min: 0, Max: 1 << 30},
+		},
+		PresetList: []Preset{
+			{Name: "fir-256x8", Desc: "FIR filter, 256 samples through 8 taps",
+				Values: Values{"n": 256, "taps": 8}, Pinned: true},
+			{Name: "fir-1024x16", Desc: "FIR filter, 1024 samples through 16 taps",
+				Values: Values{"n": 1024, "taps": 16}},
+			{Name: "fir", Desc: "regression-suite FIR, 64 samples through 8 taps",
+				Values: Values{"n": 64, "taps": 8}, Suite: true},
+		},
+		EmitSource: func(Values) (string, string) { return FIRSource, "fir" },
+		GenInputs: func(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+			n, taps := v["n"], v["taps"]
+			seed := uint64(v["seed"])
+			sizes := map[string]int{"x": n + taps - 1, "h": taps, "y": n}
+			args := map[string]int64{"n": int64(n), "taps": int64(taps)}
+			inputs := map[string][]int64{
+				"x": GenSamples(n+taps-1, seed),
+				"h": GenTaps(taps, seed+0x51ed2701),
+			}
+			return sizes, args, inputs
+		},
+		Golden: func(v Values, inputs map[string][]int64) map[string][]int64 {
+			return map[string][]int64{
+				"x": cloneWords(inputs["x"]),
+				"h": cloneWords(inputs["h"]),
+				"y": RefFIR(inputs["x"], inputs["h"], v["n"], v["taps"]),
+			}
+		},
+	})
+}

@@ -1,0 +1,112 @@
+package workloads
+
+// HammingSource is the MiniJ Hamming(7,4) decoder: for each received
+// 7-bit codeword it computes the syndrome, corrects a single-bit error
+// and extracts the 4 data bits. Bit layout (1-indexed positions as in
+// the classic code): p1 p2 d1 p3 d2 d3 d4 from MSB (bit 6) to LSB.
+const HammingSource = `
+// Hamming(7,4) decoder with single-error correction.
+void hamming(int[] in, int[] out, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int c = in[i];
+    int b1 = (c >> 6) & 1;
+    int b2 = (c >> 5) & 1;
+    int b3 = (c >> 4) & 1;
+    int b4 = (c >> 3) & 1;
+    int b5 = (c >> 2) & 1;
+    int b6 = (c >> 1) & 1;
+    int b7 = c & 1;
+    int s1 = b1 ^ b3 ^ b5 ^ b7;
+    int s2 = b2 ^ b3 ^ b6 ^ b7;
+    int s4 = b4 ^ b5 ^ b6 ^ b7;
+    int syn = s4 * 4 + s2 * 2 + s1;
+    if (syn != 0) {
+      c = c ^ (1 << (7 - syn));
+    }
+    int d1 = (c >> 4) & 1;
+    int d2 = (c >> 2) & 1;
+    int d3 = (c >> 1) & 1;
+    int d4 = c & 1;
+    out[i] = d1 * 8 + d2 * 4 + d3 * 2 + d4;
+  }
+}
+`
+
+// HammingEncode encodes a 4-bit nibble into a 7-bit codeword matching
+// the decoder's layout.
+func HammingEncode(nibble int64) int64 {
+	d1 := (nibble >> 3) & 1
+	d2 := (nibble >> 2) & 1
+	d3 := (nibble >> 1) & 1
+	d4 := nibble & 1
+	p1 := d1 ^ d2 ^ d4
+	p2 := d1 ^ d3 ^ d4
+	p3 := d2 ^ d3 ^ d4
+	return p1<<6 | p2<<5 | d1<<4 | p3<<3 | d2<<2 | d3<<1 | d4
+}
+
+// GenCodewords encodes a deterministic nibble stream and injects a
+// single-bit error into every third codeword. It returns the noisy
+// codewords and the expected decoded nibbles.
+func GenCodewords(n int, seed uint64) (codewords, expected []int64) {
+	s := seed | 1
+	codewords = make([]int64, n)
+	expected = make([]int64, n)
+	for i := 0; i < n; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		nib := int64((s >> 40) & 0xF)
+		cw := HammingEncode(nib)
+		if i%3 == 0 {
+			bit := int64((s >> 13) % 7)
+			cw ^= 1 << uint(bit)
+		}
+		codewords[i] = cw
+		expected[i] = nib
+	}
+	return codewords, expected
+}
+
+// HammingCase builds the core test case for a Hamming decode over n
+// codewords; expected decoded data is returned for pinning.
+func HammingCase(n int, seed uint64) (sizes map[string]int, args map[string]int64, inputs map[string][]int64, expected []int64) {
+	codewords, exp := GenCodewords(n, seed)
+	sizes = map[string]int{"in": n, "out": n}
+	args = map[string]int64{"n": int64(n)}
+	inputs = map[string][]int64{"in": codewords}
+	return sizes, args, inputs, exp
+}
+
+func init() {
+	MustRegister(&Family{
+		FamilyName: "hamming",
+		FamilyDoc:  "Hamming(7,4) decoder with single-error correction over a noisy codeword stream",
+		Schema: []Param{
+			{Name: "words", Doc: "codeword count", Default: 64, Min: 1, Max: 1 << 20},
+			{Name: "seed", Doc: "nibble-stream PRNG seed", Default: 9, Min: 0, Max: 1 << 30},
+		},
+		PresetList: []Preset{
+			{Name: "hamming-256", Desc: "Hamming(7,4) decode of 256 codewords",
+				Values: Values{"words": 256}, Pinned: true},
+			{Name: "rtg-hamming-w8", Desc: "Hamming decoder compiled at datapath width 8",
+				Values: Values{}, Width: 8, Pinned: true},
+			{Name: "rtg-hamming-w16", Desc: "Hamming decoder compiled at datapath width 16",
+				Values: Values{}, Width: 16, Pinned: true},
+			{Name: "rtg-hamming-w32", Desc: "Hamming decoder compiled at datapath width 32",
+				Values: Values{}, Width: 32, Pinned: true},
+			{Name: "hamming", Desc: "regression-suite Hamming(7,4) decode",
+				Values: Values{}, Suite: true},
+		},
+		EmitSource: func(Values) (string, string) { return HammingSource, "hamming" },
+		GenInputs: func(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+			sizes, args, inputs, _ := HammingCase(v["words"], uint64(v["seed"]))
+			return sizes, args, inputs
+		},
+		Golden: func(v Values, inputs map[string][]int64) map[string][]int64 {
+			// The generator is the ground truth: the decoded stream must be
+			// the nibble stream the codewords were encoded from.
+			_, expected := GenCodewords(v["words"], uint64(v["seed"]))
+			return map[string][]int64{"in": cloneWords(inputs["in"]), "out": expected}
+		},
+	})
+}

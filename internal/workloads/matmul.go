@@ -1,0 +1,88 @@
+package workloads
+
+// MatMulSource is the MiniJ streaming n x n integer matrix multiply:
+// c = a * b over row-major matrices, one multiply-accumulate chain per
+// output element.
+const MatMulSource = `
+// Row-major n x n integer matrix multiply: c = a * b.
+void matmul(int[] a, int[] b, int[] c, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int j;
+    for (j = 0; j < n; j = j + 1) {
+      int acc = 0;
+      int k;
+      for (k = 0; k < n; k = k + 1) {
+        acc = acc + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+`
+
+// GenMatrix produces a deterministic pseudo-random n x n matrix of
+// 8-bit entries (row-major).
+func GenMatrix(n int, seed uint64) []int64 {
+	m := make([]int64, n*n)
+	s := newLCG(seed)
+	for i := range m {
+		m[i] = int64(s.next() & 0xFF)
+	}
+	return m
+}
+
+// RefMatMul is the pure-Go golden model: c = a * b with 32-bit
+// wrap-around accumulation, row-major.
+func RefMatMul(a, b []int64, n int) []int64 {
+	c := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc = wrap32(acc + wrap32(a[i*n+k]*b[k*n+j]))
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+func init() {
+	MustRegister(&Family{
+		FamilyName: "matmul",
+		FamilyDoc:  "streaming n x n integer matrix multiply (one MAC chain per output element)",
+		Schema: []Param{
+			{Name: "n", Doc: "matrix dimension", Default: 16, Min: 1, Max: 64},
+			{Name: "seed", Doc: "matrix-entry PRNG seed", Default: 7, Min: 0, Max: 1 << 30},
+		},
+		PresetList: []Preset{
+			{Name: "matmul-16", Desc: "16x16 integer matrix multiply",
+				Values: Values{"n": 16}, Pinned: true},
+			{Name: "matmul-32", Desc: "32x32 integer matrix multiply",
+				Values: Values{"n": 32}},
+			{Name: "matmul", Desc: "regression-suite 8x8 matrix multiply",
+				Values: Values{"n": 8}, Suite: true},
+		},
+		EmitSource: func(Values) (string, string) { return MatMulSource, "matmul" },
+		GenInputs: func(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+			n := v["n"]
+			seed := uint64(v["seed"])
+			sizes := map[string]int{"a": n * n, "b": n * n, "c": n * n}
+			args := map[string]int64{"n": int64(n)}
+			inputs := map[string][]int64{
+				"a": GenMatrix(n, seed),
+				"b": GenMatrix(n, seed+0x9e3779b9),
+			}
+			return sizes, args, inputs
+		},
+		Golden: func(v Values, inputs map[string][]int64) map[string][]int64 {
+			n := v["n"]
+			return map[string][]int64{
+				"a": cloneWords(inputs["a"]),
+				"b": cloneWords(inputs["b"]),
+				"c": RefMatMul(inputs["a"], inputs["b"], n),
+			}
+		},
+	})
+}

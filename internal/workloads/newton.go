@@ -1,0 +1,95 @@
+package workloads
+
+// NewtonSource is the MiniJ fixed-point iterative kernel: per input, a
+// fixed number of Newton refinement steps y <- (y + x/y) / 2 toward the
+// integer square root, clamped so the divisor never reaches zero — a
+// functional-iteration loop in the spirit of the Rodrigues-vector
+// refinement of fast attitude reconstruction (RodFIter).
+const NewtonSource = `
+// Fixed-point Newton iteration toward isqrt(x), iters refinement steps.
+void newton(int[] in, int[] out, int n, int iters) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int x = in[i];
+    int y = x;
+    if (y < 1) {
+      y = 1;
+    }
+    int t;
+    for (t = 0; t < iters; t = t + 1) {
+      y = (y + x / y) >> 1;
+      if (y < 1) {
+        y = 1;
+      }
+    }
+    out[i] = y;
+  }
+}
+`
+
+// GenRadicands produces a deterministic stream of non-negative 24-bit
+// inputs for the Newton kernel.
+func GenRadicands(n int, seed uint64) []int64 {
+	x := make([]int64, n)
+	s := newLCG(seed)
+	for i := range x {
+		x[i] = int64(s.next() & 0xFFFFFF)
+	}
+	return x
+}
+
+// RefNewton is the pure-Go golden model: it replays the exact clamped
+// iteration of the MiniJ kernel (Java-truncating division, arithmetic
+// halving), not the mathematical square root — the reference pins the
+// fixed-point trajectory, including its rounding behaviour.
+func RefNewton(in []int64, iters int) []int64 {
+	out := make([]int64, len(in))
+	for i, x := range in {
+		y := x
+		if y < 1 {
+			y = 1
+		}
+		for t := 0; t < iters; t++ {
+			y = (y + x/y) >> 1
+			if y < 1 {
+				y = 1
+			}
+		}
+		out[i] = y
+	}
+	return out
+}
+
+func init() {
+	MustRegister(&Family{
+		FamilyName: "newton",
+		FamilyDoc:  "fixed-point Newton/RodFIter-style functional iteration toward integer square roots",
+		Schema: []Param{
+			{Name: "n", Doc: "input count", Default: 256, Min: 1, Max: 1 << 20},
+			{Name: "iters", Doc: "refinement steps per input", Default: 16, Min: 1, Max: 64},
+			{Name: "seed", Doc: "input PRNG seed", Default: 11, Min: 0, Max: 1 << 30},
+		},
+		PresetList: []Preset{
+			{Name: "newton-256", Desc: "Newton isqrt iteration, 256 inputs x 16 steps",
+				Values: Values{"n": 256, "iters": 16}, Pinned: true},
+			{Name: "newton-1024", Desc: "Newton isqrt iteration, 1024 inputs x 24 steps",
+				Values: Values{"n": 1024, "iters": 24}},
+			{Name: "newton", Desc: "regression-suite Newton iteration, 64 inputs x 12 steps",
+				Values: Values{"n": 64, "iters": 12}, Suite: true},
+		},
+		EmitSource: func(Values) (string, string) { return NewtonSource, "newton" },
+		GenInputs: func(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+			n := v["n"]
+			sizes := map[string]int{"in": n, "out": n}
+			args := map[string]int64{"n": int64(n), "iters": int64(v["iters"])}
+			inputs := map[string][]int64{"in": GenRadicands(n, uint64(v["seed"]))}
+			return sizes, args, inputs
+		},
+		Golden: func(v Values, inputs map[string][]int64) map[string][]int64 {
+			return map[string][]int64{
+				"in":  cloneWords(inputs["in"]),
+				"out": RefNewton(inputs["in"], v["iters"]),
+			}
+		},
+	})
+}

@@ -1,0 +1,345 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Param describes one integer parameter of a workload family: its
+// documentation, its default, and the inclusive range Resolve accepts.
+type Param struct {
+	Name     string
+	Doc      string
+	Default  int
+	Min, Max int
+}
+
+// Values is a concrete parameterization of a workload, keyed by
+// Param.Name. Missing parameters resolve to their defaults; unknown
+// names and out-of-range values are rejected by Resolve.
+type Values map[string]int
+
+// Clone returns an independent copy of the values.
+func (v Values) Clone() Values {
+	out := make(Values, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// String renders the values as a stable "k=v,k=v" list.
+func (v Values) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Preset is a named parameterization of a workload family, the unit the
+// benchmark subsystem and the regression suite consume. Bench presets
+// (Suite false) become named scenarios — the Pinned subset is the
+// CI-gated regression set; Suite presets are the fast, verified
+// parameterizations the regression suite runs end to end against the
+// family's Go reference model.
+type Preset struct {
+	Name   string // scenario / suite case name, e.g. "fdct1-1024"
+	Desc   string
+	Values Values
+	Width  int  // datapath width override (0: compiler default)
+	Pinned bool // member of the CI-gated pinned bench set
+	Suite  bool // member of the regression suite instead of the bench set
+}
+
+// Case is a fully materialized workload: the MiniJ source, the design
+// parameters, the deterministic initial memory contents, and the
+// expected final contents computed by the family's pure-Go reference
+// model (Expected drives the flow's verify stage; arrays the reference
+// does not model fall back to the golden interpreter).
+type Case struct {
+	Workload   string // family name
+	Name       string // case name (defaults to the family name)
+	Source     string
+	Func       string
+	ArraySizes map[string]int
+	ScalarArgs map[string]int64
+	Inputs     map[string][]int64
+	Expected   map[string][]int64
+}
+
+// Workload is one parameterized algorithm family: a MiniJ source
+// emitter, a deterministic input generator, and a golden reference
+// model in pure Go. All three are called with resolved Values — every
+// parameter present and in range — so they cannot fail.
+type Workload interface {
+	// Name is the registry key, e.g. "hamming".
+	Name() string
+	// Doc is a one-line description of the family.
+	Doc() string
+	// Params is the parameter schema Resolve validates against.
+	Params() []Param
+	// Presets lists the named parameterizations for bench and the suite.
+	Presets() []Preset
+	// Source emits the MiniJ source text and its entry function.
+	Source(v Values) (src, fn string)
+	// Generate deterministically produces the array sizes, the scalar
+	// arguments and the initial memory contents.
+	Generate(v Values) (sizes map[string]int, args map[string]int64, inputs map[string][]int64)
+	// Reference computes, in pure Go, the expected final contents of
+	// every array it models (it may omit arrays; those fall back to the
+	// golden interpreter in the verify stage).
+	Reference(v Values, inputs map[string][]int64) map[string][]int64
+}
+
+// Family is a declarative Workload implementation: the registry's
+// built-in families are Family values, and new families can usually be
+// one literal plus three closures (see docs/WORKLOADS.md for the
+// walkthrough).
+type Family struct {
+	FamilyName string
+	FamilyDoc  string
+	Schema     []Param
+	PresetList []Preset
+	EmitSource func(v Values) (src, fn string)
+	GenInputs  func(v Values) (sizes map[string]int, args map[string]int64, inputs map[string][]int64)
+	Golden     func(v Values, inputs map[string][]int64) map[string][]int64
+}
+
+// Name implements Workload.
+func (f *Family) Name() string { return f.FamilyName }
+
+// Doc implements Workload.
+func (f *Family) Doc() string { return f.FamilyDoc }
+
+// Params implements Workload.
+func (f *Family) Params() []Param { return f.Schema }
+
+// Presets implements Workload.
+func (f *Family) Presets() []Preset { return f.PresetList }
+
+// Source implements Workload.
+func (f *Family) Source(v Values) (string, string) { return f.EmitSource(v) }
+
+// Generate implements Workload.
+func (f *Family) Generate(v Values) (map[string]int, map[string]int64, map[string][]int64) {
+	return f.GenInputs(v)
+}
+
+// Reference implements Workload.
+func (f *Family) Reference(v Values, inputs map[string][]int64) map[string][]int64 {
+	return f.Golden(v, inputs)
+}
+
+// Registry is a named set of workload families. The package-level
+// Default registry holds the built-in families; independent registries
+// exist so tests (and embedders) can register without global effects.
+type Registry struct {
+	families map[string]Workload
+	// presets maps every preset name to its owning family: preset names
+	// become bench scenario names, suite case names and BENCH_<name>.json
+	// files, so they must be unique across the whole registry.
+	presets map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]Workload{}, presets: map[string]string{}}
+}
+
+// Register adds a family. It rejects empty or duplicate names, schema
+// problems (duplicate or empty parameter names, defaults outside
+// [Min, Max]), and presets that do not resolve against the schema —
+// a family that registers cleanly cannot fail to Build from a preset.
+func (r *Registry) Register(w Workload) error {
+	name := w.Name()
+	if name == "" {
+		return fmt.Errorf("workloads: register: empty workload name")
+	}
+	if _, ok := r.families[name]; ok {
+		return fmt.Errorf("workloads: register %q: already registered", name)
+	}
+	seen := map[string]bool{}
+	for _, p := range w.Params() {
+		if p.Name == "" {
+			return fmt.Errorf("workloads: register %q: empty parameter name", name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("workloads: register %q: duplicate parameter %q", name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Min > p.Max {
+			return fmt.Errorf("workloads: register %q: parameter %q: min %d > max %d", name, p.Name, p.Min, p.Max)
+		}
+		if p.Default < p.Min || p.Default > p.Max {
+			return fmt.Errorf("workloads: register %q: parameter %q: default %d outside [%d, %d]",
+				name, p.Name, p.Default, p.Min, p.Max)
+		}
+	}
+	local := map[string]bool{}
+	for _, p := range w.Presets() {
+		if p.Name == "" {
+			return fmt.Errorf("workloads: register %q: empty preset name", name)
+		}
+		if local[p.Name] {
+			return fmt.Errorf("workloads: register %q: duplicate preset %q", name, p.Name)
+		}
+		if owner, ok := r.presets[p.Name]; ok {
+			return fmt.Errorf("workloads: register %q: preset %q already belongs to family %q (preset names are global: scenario names, suite cases, BENCH files)",
+				name, p.Name, owner)
+		}
+		local[p.Name] = true
+		if _, err := Resolve(w, p.Values); err != nil {
+			return fmt.Errorf("workloads: register %q: preset %q: %w", name, p.Name, err)
+		}
+	}
+	for p := range local {
+		r.presets[p] = name
+	}
+	r.families[name] = w
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for init-time use.
+func (r *Registry) MustRegister(w Workload) {
+	if err := r.Register(w); err != nil {
+		panic(err)
+	}
+}
+
+// Names lists the registered families, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All lists the registered families in Names order.
+func (r *Registry) All() []Workload {
+	names := r.Names()
+	out := make([]Workload, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// Lookup finds a family by name.
+func (r *Registry) Lookup(name string) (Workload, error) {
+	w, ok := r.families[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return w, nil
+}
+
+// Build materializes a family under the given values: it resolves the
+// values against the schema, emits the source, generates the inputs and
+// computes the reference model's expected contents.
+func (r *Registry) Build(name string, v Values) (*Case, error) {
+	w, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWorkload(w, v)
+}
+
+// BuildWorkload is Build for an already-looked-up family.
+func BuildWorkload(w Workload, v Values) (*Case, error) {
+	c, rv, err := buildInputs(w, v)
+	if err != nil {
+		return nil, err
+	}
+	c.Expected = w.Reference(rv, c.Inputs)
+	return c, nil
+}
+
+// BuildWorkloadInputs materializes a case without running the reference
+// model (Expected stays nil) — for consumers that only compile or time
+// the simulation, like the benchmark harness. Every verifying path
+// wants BuildWorkload instead.
+func BuildWorkloadInputs(w Workload, v Values) (*Case, error) {
+	c, _, err := buildInputs(w, v)
+	return c, err
+}
+
+func buildInputs(w Workload, v Values) (*Case, Values, error) {
+	rv, err := Resolve(w, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	src, fn := w.Source(rv)
+	sizes, args, inputs := w.Generate(rv)
+	c := &Case{
+		Workload:   w.Name(),
+		Name:       w.Name(),
+		Source:     src,
+		Func:       fn,
+		ArraySizes: sizes,
+		ScalarArgs: args,
+		Inputs:     inputs,
+	}
+	return c, rv, nil
+}
+
+// Resolve applies the schema's defaults to v and validates every value
+// against its [Min, Max] range; unknown parameter names are errors. The
+// input map is not modified.
+func Resolve(w Workload, v Values) (Values, error) {
+	schema := w.Params()
+	byName := make(map[string]Param, len(schema))
+	out := make(Values, len(schema))
+	for _, p := range schema {
+		byName[p.Name] = p
+		out[p.Name] = p.Default
+	}
+	for name, val := range v {
+		p, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(schema))
+			for _, sp := range schema {
+				known = append(known, sp.Name)
+			}
+			return nil, fmt.Errorf("workloads: %s has no parameter %q (have: %s)",
+				w.Name(), name, strings.Join(known, ", "))
+		}
+		if val < p.Min || val > p.Max {
+			return nil, fmt.Errorf("workloads: %s: parameter %s=%d outside [%d, %d]",
+				w.Name(), name, val, p.Min, p.Max)
+		}
+		out[name] = val
+	}
+	return out, nil
+}
+
+// Default is the registry holding the built-in families; the package
+// functions below operate on it.
+var Default = NewRegistry()
+
+// Register adds a family to the default registry.
+func Register(w Workload) error { return Default.Register(w) }
+
+// MustRegister adds a family to the default registry, panicking on error.
+func MustRegister(w Workload) { Default.MustRegister(w) }
+
+// Names lists the default registry's families, sorted.
+func Names() []string { return Default.Names() }
+
+// All lists the default registry's families in Names order.
+func All() []Workload { return Default.All() }
+
+// Lookup finds a family in the default registry.
+func Lookup(name string) (Workload, error) { return Default.Lookup(name) }
+
+// Build materializes a family from the default registry.
+func Build(name string, v Values) (*Case, error) { return Default.Build(name, v) }

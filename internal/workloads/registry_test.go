@@ -1,0 +1,289 @@
+package workloads
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+// TestEveryFamilyReferenceMatchesInterpreter is the registry's core
+// contract: for every family, the pure-Go reference model must agree
+// bit-for-bit with the golden interpreter executing the emitted MiniJ
+// source over the generated inputs.
+func TestEveryFamilyReferenceMatchesInterpreter(t *testing.T) {
+	small := map[string]Values{
+		"fdct1":   {"pixels": 128},
+		"fdct2":   {"pixels": 128},
+		"hamming": {"words": 32},
+		"matmul":  {"n": 6},
+		"fir":     {"n": 32, "taps": 5},
+		"erasure": {"k": 3, "stripes": 8},
+		"newton":  {"n": 32, "iters": 10},
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			c, err := Build(w.Name(), small[w.Name()])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Expected) == 0 {
+				t.Fatal("no reference expectations")
+			}
+			prog, err := lang.Parse(c.Source)
+			if err != nil {
+				t.Fatalf("emitted source does not parse: %v", err)
+			}
+			f, ok := prog.FindFunc(c.Func)
+			if !ok {
+				t.Fatalf("no function %q in emitted source", c.Func)
+			}
+			mems := map[string][]int64{}
+			for name, depth := range c.ArraySizes {
+				words := make([]int64, depth)
+				copy(words, c.Inputs[name])
+				mems[name] = words
+			}
+			if _, err := interp.Run(f, mems, c.ScalarArgs, interp.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			for name, want := range c.Expected {
+				got, ok := mems[name]
+				if !ok {
+					t.Fatalf("reference models array %q the case does not declare", name)
+				}
+				if len(want) != len(got) {
+					t.Fatalf("%s: reference length %d, array depth %d", name, len(want), len(got))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s[%d]: interpreter %d, reference %d", name, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryHasAllFamilies(t *testing.T) {
+	want := []string{"erasure", "fdct1", "fdct2", "fir", "hamming", "matmul", "newton"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, w := range All() {
+		var suite, bench bool
+		for _, p := range w.Presets() {
+			if p.Suite {
+				suite = true
+			} else {
+				bench = true
+			}
+		}
+		if !suite || !bench {
+			t.Errorf("%s: needs both a suite preset and a bench preset (suite=%v bench=%v)",
+				w.Name(), suite, bench)
+		}
+	}
+}
+
+func TestLookupUnknownWorkload(t *testing.T) {
+	_, err := Lookup("nope")
+	if err == nil || !strings.Contains(err.Error(), `unknown workload "nope"`) {
+		t.Fatalf("err = %v", err)
+	}
+	// The error names the known families, so a CLI typo is self-healing.
+	if !strings.Contains(err.Error(), "hamming") {
+		t.Fatalf("error does not list known families: %v", err)
+	}
+	if _, err := Build("nope", nil); err == nil {
+		t.Fatal("Build on unknown workload must fail")
+	}
+}
+
+func TestResolveRejectsUnknownParameter(t *testing.T) {
+	_, err := Build("hamming", Values{"pixel": 64})
+	if err == nil || !strings.Contains(err.Error(), `no parameter "pixel"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveRejectsOutOfRange(t *testing.T) {
+	for _, tc := range []struct {
+		workload string
+		values   Values
+	}{
+		{"fdct1", Values{"pixels": 0}},       // below Min
+		{"fdct1", Values{"pixels": 1 << 21}}, // above Max
+		{"matmul", Values{"n": 65}},          // above Max
+		{"erasure", Values{"k": 1}},          // below Min
+		{"newton", Values{"iters": -1}},      // below Min
+		{"fir", Values{"taps": 0, "n": 16}},  // below Min with a valid sibling
+		{"hamming", Values{"seed": -5}},      // negative seed
+	} {
+		if _, err := Build(tc.workload, tc.values); err == nil ||
+			!strings.Contains(err.Error(), "outside") {
+			t.Errorf("%s %v: err = %v, want out-of-range", tc.workload, tc.values, err)
+		}
+	}
+}
+
+func TestResolveAppliesDefaultsWithoutMutating(t *testing.T) {
+	w, err := Lookup("fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Values{"n": 10}
+	rv, err := Resolve(w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv["n"] != 10 || rv["taps"] != 8 || rv["seed"] != 3 {
+		t.Fatalf("resolved = %v", rv)
+	}
+	if len(in) != 1 {
+		t.Fatalf("input values mutated: %v", in)
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	r := NewRegistry()
+	fam := func() *Family {
+		return &Family{
+			FamilyName: "dup",
+			FamilyDoc:  "test family",
+			EmitSource: func(Values) (string, string) { return "", "f" },
+			GenInputs: func(Values) (map[string]int, map[string]int64, map[string][]int64) {
+				return nil, nil, nil
+			},
+			Golden: func(Values, map[string][]int64) map[string][]int64 { return nil },
+		}
+	}
+	if err := r.Register(fam()); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(fam())
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPresetNamesGloballyUnique(t *testing.T) {
+	fam := func(name, preset string) *Family {
+		return &Family{
+			FamilyName: name,
+			PresetList: []Preset{{Name: preset}},
+			EmitSource: func(Values) (string, string) { return "", "f" },
+			GenInputs: func(Values) (map[string]int, map[string]int64, map[string][]int64) {
+				return nil, nil, nil
+			},
+			Golden: func(Values, map[string][]int64) map[string][]int64 { return nil },
+		}
+	}
+	r := NewRegistry()
+	if err := r.Register(fam("a", "shared-name")); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Register(fam("b", "shared-name"))
+	if err == nil || !strings.Contains(err.Error(), `already belongs to family "a"`) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed registration must leave no trace: its (unique) preset
+	// names are free for a later family.
+	if _, err := r.Lookup("b"); err == nil {
+		t.Fatal("failed registration must not register the family")
+	}
+	if err := r.Register(fam("c", "other-name")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWorkloadInputsSkipsReference(t *testing.T) {
+	w, err := Lookup("matmul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildWorkloadInputs(w, Values{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Expected != nil {
+		t.Fatal("inputs-only build must not compute Expected")
+	}
+	full, err := BuildWorkload(w, Values{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Expected = full.Expected
+	if !reflect.DeepEqual(c, full) {
+		t.Fatal("inputs-only build must match the full build modulo Expected")
+	}
+}
+
+func TestRegisterValidatesSchemaAndPresets(t *testing.T) {
+	base := func() *Family {
+		return &Family{
+			FamilyName: "bad",
+			EmitSource: func(Values) (string, string) { return "", "f" },
+			GenInputs: func(Values) (map[string]int, map[string]int64, map[string][]int64) {
+				return nil, nil, nil
+			},
+			Golden: func(Values, map[string][]int64) map[string][]int64 { return nil },
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Family)
+		want   string
+	}{
+		{"empty name", func(f *Family) { f.FamilyName = "" }, "empty workload name"},
+		{"empty param", func(f *Family) { f.Schema = []Param{{Name: ""}} }, "empty parameter name"},
+		{"dup param", func(f *Family) {
+			f.Schema = []Param{{Name: "n", Max: 9}, {Name: "n", Max: 9}}
+		}, "duplicate parameter"},
+		{"inverted range", func(f *Family) {
+			f.Schema = []Param{{Name: "n", Min: 5, Max: 1, Default: 5}}
+		}, "min 5 > max 1"},
+		{"default out of range", func(f *Family) {
+			f.Schema = []Param{{Name: "n", Min: 1, Max: 4, Default: 9}}
+		}, "outside"},
+		{"empty preset name", func(f *Family) { f.PresetList = []Preset{{}} }, "empty preset name"},
+		{"dup preset", func(f *Family) {
+			f.PresetList = []Preset{{Name: "p"}, {Name: "p"}}
+		}, "duplicate preset"},
+		{"preset fails schema", func(f *Family) {
+			f.Schema = []Param{{Name: "n", Min: 1, Max: 4, Default: 2}}
+			f.PresetList = []Preset{{Name: "p", Values: Values{"n": 99}}}
+		}, "outside"},
+	} {
+		r := NewRegistry()
+		f := base()
+		tc.mutate(f)
+		if err := r.Register(f); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	a, err := Build("erasure", Values{"stripes": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("erasure", Values{"stripes": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical parameterizations must build identical cases")
+	}
+}
+
+func TestValuesStringStable(t *testing.T) {
+	v := Values{"taps": 8, "n": 64}
+	if got := v.String(); got != "n=64,taps=8" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,192 +1,46 @@
-// Package workloads provides the paper's two evaluation algorithms as
-// MiniJ sources plus deterministic data generators: the fast 8x8 DCT over
-// an input image (FDCT1 single-configuration and FDCT2 two-configuration
-// variants, three SRAMs: input, intermediate and output image) and a
-// Hamming(7,4) decoder over a codeword stream.
+// Package workloads is the parameterized workload registry of the
+// verification infrastructure. A Workload is one algorithm family — a
+// MiniJ source emitter, a deterministic input generator, and a golden
+// reference model in pure Go — described by a parameter schema and a
+// set of named presets. The built-in families are the paper's two
+// evaluation algorithms (the 8x8 fast DCT in its single- and
+// two-configuration variants, and the Hamming(7,4) decoder) plus the
+// streaming matrix multiply, the FIR filter, the single-erasure parity
+// decoder and the Newton fixed-point iteration added on top of them.
+//
+// The registry feeds every consuming layer: internal/bench derives its
+// end-to-end scenarios from the bench presets, internal/core builds the
+// regression suite from the suite presets (verified against the
+// families' reference models), and the gnc/hsim CLIs materialize cases
+// from a -workload flag. See docs/WORKLOADS.md for the catalogue and a
+// how-to-add-a-workload walkthrough.
 package workloads
 
-import (
-	"fmt"
-	"math"
-	"strings"
-)
+import "repro/internal/hades"
 
-// DCTShift is the fixed-point scale of the DCT coefficients (2^DCTShift).
-const DCTShift = 10
+// lcg is the deterministic input generator shared by the families: a
+// 64-bit linear congruential generator (Knuth's MMIX multiplier). Every
+// generator derives its stream from a seed parameter, so a case's
+// contents are a pure function of its resolved values.
+type lcg uint64
 
-// dctCoef returns the scaled integer DCT-II coefficient C[u][x].
-func dctCoef(u, x int) int64 {
-	alpha := 0.5
-	if u == 0 {
-		alpha = math.Sqrt(0.125) // 1/(2*sqrt(2)) * 2 = sqrt(1/8)
-	}
-	c := alpha * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16.0)
-	return int64(math.Round(c * float64(int64(1)<<DCTShift)))
+// newLCG seeds the generator; the low bit is forced so seed 0 is usable.
+func newLCG(seed uint64) lcg { return lcg(seed | 1) }
+
+// next advances the state and returns the mixed high bits.
+func (s *lcg) next() uint64 {
+	*s = *s*6364136223846793005 + 1442695040888963407
+	return uint64(*s >> 33)
 }
 
-// dctPassSource emits the straight-line 8-point DCT for one row or
-// column: src[off + k*stride] -> dst[off + k*stride].
-func dctPassSource(b *strings.Builder, src, dst, off string, stride int) {
-	idx := func(k int) string {
-		if k == 0 {
-			return off
-		}
-		if stride == 1 {
-			return fmt.Sprintf("%s + %d", off, k)
-		}
-		return fmt.Sprintf("%s + %d", off, k*stride)
-	}
-	for k := 0; k < 8; k++ {
-		fmt.Fprintf(b, "      int x%d = %s[%s];\n", k, src, idx(k))
-	}
-	for u := 0; u < 8; u++ {
-		terms := make([]string, 0, 8)
-		for x := 0; x < 8; x++ {
-			c := dctCoef(u, x)
-			switch {
-			case c == 0:
-				continue
-			case c < 0:
-				terms = append(terms, fmt.Sprintf("- x%d * %d", x, -c))
-			case len(terms) == 0:
-				terms = append(terms, fmt.Sprintf("x%d * %d", x, c))
-			default:
-				terms = append(terms, fmt.Sprintf("+ x%d * %d", x, c))
-			}
-		}
-		fmt.Fprintf(b, "      %s[%s] = (%s) >> %d;\n", dst, idx(u), strings.Join(terms, " "), DCTShift)
-	}
-}
+// wrap32 normalises a value to Java int range, exactly as a 32-bit
+// signal stores it; reference models apply it wherever an intermediate
+// could exceed 32 bits so they stay bit-exact with the datapath.
+func wrap32(v int64) int64 { return hades.SignExtend(hades.Mask(uint64(v), 32), 32) }
 
-// FDCTSource generates the MiniJ source of the 8x8 block FDCT. When
-// twoConfigurations is true a partition marker splits the row pass
-// (img -> tmp) from the column pass (tmp -> out), yielding the paper's
-// FDCT2 implementation; otherwise both passes form one configuration
-// (FDCT1). Images are stored as consecutive 8x8 blocks of 64 pixels.
-func FDCTSource(twoConfigurations bool) string {
-	var b strings.Builder
-	b.WriteString("// 8x8 block fast DCT: row pass into tmp, column pass into out.\n")
-	b.WriteString("void fdct(int[] img, int[] tmp, int[] out, int nblocks) {\n")
-	b.WriteString("  int b;\n")
-	b.WriteString("  for (b = 0; b < nblocks; b = b + 1) {\n")
-	b.WriteString("    int r;\n")
-	b.WriteString("    for (r = 0; r < 8; r = r + 1) {\n")
-	b.WriteString("      int o = b * 64 + r * 8;\n")
-	dctPassSource(&b, "img", "tmp", "o", 1)
-	b.WriteString("    }\n")
-	b.WriteString("  }\n")
-	if twoConfigurations {
-		b.WriteString("  partition;\n")
-	}
-	b.WriteString("  int b2;\n")
-	b.WriteString("  for (b2 = 0; b2 < nblocks; b2 = b2 + 1) {\n")
-	b.WriteString("    int c;\n")
-	b.WriteString("    for (c = 0; c < 8; c = c + 1) {\n")
-	b.WriteString("      int o = b2 * 64 + c;\n")
-	dctPassSource(&b, "tmp", "out", "o", 8)
-	b.WriteString("    }\n")
-	b.WriteString("  }\n")
-	b.WriteString("}\n")
-	return b.String()
-}
-
-// GenImage produces a deterministic pseudo-random 8-bit image of the
-// given pixel count (a multiple of 64 for whole blocks).
-func GenImage(pixels int, seed uint64) []int64 {
-	img := make([]int64, pixels)
-	s := seed | 1
-	for i := range img {
-		s = s*6364136223846793005 + 1442695040888963407
-		img[i] = int64((s >> 33) & 0xFF)
-	}
-	return img
-}
-
-// HammingSource is the MiniJ Hamming(7,4) decoder: for each received
-// 7-bit codeword it computes the syndrome, corrects a single-bit error
-// and extracts the 4 data bits. Bit layout (1-indexed positions as in
-// the classic code): p1 p2 d1 p3 d2 d3 d4 from MSB (bit 6) to LSB.
-const HammingSource = `
-// Hamming(7,4) decoder with single-error correction.
-void hamming(int[] in, int[] out, int n) {
-  int i;
-  for (i = 0; i < n; i = i + 1) {
-    int c = in[i];
-    int b1 = (c >> 6) & 1;
-    int b2 = (c >> 5) & 1;
-    int b3 = (c >> 4) & 1;
-    int b4 = (c >> 3) & 1;
-    int b5 = (c >> 2) & 1;
-    int b6 = (c >> 1) & 1;
-    int b7 = c & 1;
-    int s1 = b1 ^ b3 ^ b5 ^ b7;
-    int s2 = b2 ^ b3 ^ b6 ^ b7;
-    int s4 = b4 ^ b5 ^ b6 ^ b7;
-    int syn = s4 * 4 + s2 * 2 + s1;
-    if (syn != 0) {
-      c = c ^ (1 << (7 - syn));
-    }
-    int d1 = (c >> 4) & 1;
-    int d2 = (c >> 2) & 1;
-    int d3 = (c >> 1) & 1;
-    int d4 = c & 1;
-    out[i] = d1 * 8 + d2 * 4 + d3 * 2 + d4;
-  }
-}
-`
-
-// HammingEncode encodes a 4-bit nibble into a 7-bit codeword matching
-// the decoder's layout.
-func HammingEncode(nibble int64) int64 {
-	d1 := (nibble >> 3) & 1
-	d2 := (nibble >> 2) & 1
-	d3 := (nibble >> 1) & 1
-	d4 := nibble & 1
-	p1 := d1 ^ d2 ^ d4
-	p2 := d1 ^ d3 ^ d4
-	p3 := d2 ^ d3 ^ d4
-	return p1<<6 | p2<<5 | d1<<4 | p3<<3 | d2<<2 | d3<<1 | d4
-}
-
-// GenCodewords encodes a deterministic nibble stream and injects a
-// single-bit error into every third codeword. It returns the noisy
-// codewords and the expected decoded nibbles.
-func GenCodewords(n int, seed uint64) (codewords, expected []int64) {
-	s := seed | 1
-	codewords = make([]int64, n)
-	expected = make([]int64, n)
-	for i := 0; i < n; i++ {
-		s = s*6364136223846793005 + 1442695040888963407
-		nib := int64((s >> 40) & 0xF)
-		cw := HammingEncode(nib)
-		if i%3 == 0 {
-			bit := int64((s >> 13) % 7)
-			cw ^= 1 << uint(bit)
-		}
-		codewords[i] = cw
-		expected[i] = nib
-	}
-	return codewords, expected
-}
-
-// FDCTCase builds the core test case for an FDCT run over the given
-// number of pixels (rounded down to whole blocks).
-func FDCTCase(name string, pixels int, twoConfigurations bool, seed uint64) (src string, sizes map[string]int, args map[string]int64, inputs map[string][]int64) {
-	blocks := pixels / 64
-	pixels = blocks * 64
-	src = FDCTSource(twoConfigurations)
-	sizes = map[string]int{"img": pixels, "tmp": pixels, "out": pixels}
-	args = map[string]int64{"nblocks": int64(blocks)}
-	inputs = map[string][]int64{"img": GenImage(pixels, seed)}
-	return src, sizes, args, inputs
-}
-
-// HammingCase builds the core test case for a Hamming decode over n
-// codewords; expected decoded data is returned for pinning.
-func HammingCase(n int, seed uint64) (sizes map[string]int, args map[string]int64, inputs map[string][]int64, expected []int64) {
-	codewords, exp := GenCodewords(n, seed)
-	sizes = map[string]int{"in": n, "out": n}
-	args = map[string]int64{"n": int64(n)}
-	inputs = map[string][]int64{"in": codewords}
-	return sizes, args, inputs, exp
+// cloneWords copies a memory image.
+func cloneWords(w []int64) []int64 {
+	out := make([]int64, len(w))
+	copy(out, w)
+	return out
 }
