@@ -23,8 +23,9 @@ race:
 
 # bench runs the pinned benchmark scenarios once per registered
 # simulator backend, writes BENCH_<name>.json files to
-# bench-out/<backend>/, and fails on a >25% events/sec regression
-# versus that backend's checked-in baseline (bench/baseline/<backend>/).
+# bench-out/<backend>/, and fails on a >25% events/sec drop or a >25%
+# allocs/event rise versus that backend's checked-in baseline
+# (bench/baseline/<backend>/).
 bench:
 	for b in $$($(GO) run ./cmd/bench -list-backends); do \
 		mkdir -p bench-out/$$b; \

@@ -9,9 +9,10 @@
 //	bench                            # run the pinned set, write BENCH_*.json to .
 //	bench -backend heapref           # same scenarios on the heap kernel
 //	bench -scenarios all -out bout   # run everything, write files to bout/
-//	bench -baseline bench/baseline/twolevel  # fail on >25% events/sec regression
+//	bench -baseline bench/baseline/twolevel  # fail on >25% events/sec drop or allocs/event rise
 //	bench -update-baseline           # refresh the checked-in baseline instead
 //	bench -reps 5 -json              # more repetitions; JSON lines on stdout
+//	bench -scenarios replay-hamming-x64 -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"repro/internal/bench"
@@ -43,9 +46,11 @@ func run() error {
 		reps          = flag.Int("reps", 3, "timed repetitions per scenario (best events/sec wins)")
 		out           = flag.String("out", ".", "directory for BENCH_<name>.json files")
 		baseline      = flag.String("baseline", "", "baseline directory to compare against (exit 1 on regression)")
-		threshold     = flag.Float64("threshold", 0.25, "allowed events/sec regression vs baseline (0.25 = fail below 75%)")
+		threshold     = flag.Float64("threshold", 0.25, "allowed regression vs baseline on both gated metrics (0.25 = fail below 75% of baseline events/sec or above 125% of baseline allocs/event)")
 		update        = flag.Bool("update-baseline", false, "write results into -baseline instead of comparing")
 		asJSON        = flag.Bool("json", false, "emit one JSON object per scenario on stdout")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the scenario runs to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file after the scenario runs")
 	)
 	flag.Parse()
 
@@ -96,6 +101,18 @@ func run() error {
 		return fmt.Errorf("-update-baseline requires -baseline")
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	results := map[string]*bench.Result{}
 	enc := json.NewEncoder(os.Stdout)
 	for _, sc := range selected {
@@ -117,9 +134,26 @@ func run() error {
 				return err
 			}
 		} else {
-			fmt.Printf("%-22s %12.0f events/sec  %8.3f allocs/event  %10d events  %8.1fms  -> %s\n",
+			extra := ""
+			if res.Configs > 0 {
+				extra = fmt.Sprintf("  %8.0f configs/sec  %8.1f allocs/config",
+					res.ConfigsPerSec, res.AllocsPerCfg)
+			}
+			fmt.Printf("%-22s %12.0f events/sec  %8.3f allocs/event  %10d events  %8.1fms%s  -> %s\n",
 				res.Name, res.EventsPerSec, res.AllocsPerEvent, res.Events,
-				float64(res.WallNS)/1e6, path)
+				float64(res.WallNS)/1e6, extra, path)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
 		}
 	}
 
@@ -136,10 +170,10 @@ func run() error {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 			}
-			return fmt.Errorf("%d scenario(s) regressed more than %.0f%% vs %s",
+			return fmt.Errorf("%d regression(s) beyond %.0f%% (events/sec or allocs/event) vs %s",
 				len(regs), *threshold*100, *baseline)
 		}
-		fmt.Printf("baseline check: %d scenario(s) within %.0f%% of %s\n",
+		fmt.Printf("baseline check: %d scenario(s) within %.0f%% of %s (events/sec and allocs/event)\n",
 			len(base), *threshold*100, *baseline)
 	}
 	return nil

@@ -142,7 +142,7 @@ func drive(cases []core.TestCase, perCaseDir bool, outDir string, width, auto in
 		return nil
 	}
 	suite := &core.Suite{Name: "gnc-verify", Cases: cases}
-	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
+	runner := rf.Runner()
 	res := runner.Run(context.Background(), suite, core.Options{
 		Width:          width,
 		AutoPartitions: auto,

@@ -11,6 +11,7 @@
 //
 //	hsim -design build/ -mem img=img.mem -cycles 10000000 -vcd waves
 //	hsim -design build/ -backend heapref
+//	hsim -design build/ -repeat 16        # reset-and-replay 16 rounds
 //	hsim -workload newton,n=1024 -backend heapref -vcd waves
 package main
 
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/cmd/internal/cliutil"
 	"repro/internal/flow"
@@ -37,6 +39,7 @@ func run() error {
 	var (
 		designDir = flag.String("design", "build", "directory holding rtg.xml and companions (or the output directory with -workload)")
 		vcdPrefix = flag.String("vcd", "", "dump VCD waveforms to <prefix>.<cfg>.vcd")
+		repeat    = flag.Int("repeat", 1, "simulation rounds; rounds after the first reset-and-replay the prepared design")
 		mems      = cliutil.KVStrings{}
 		workload  cliutil.WorkloadSpec
 		ff        cliutil.FlowFlags
@@ -58,14 +61,14 @@ func run() error {
 		if len(mems) > 0 {
 			return fmt.Errorf("-workload generates its own memory contents; -mem applies to -design bundles")
 		}
-		return runWorkload(pipe, workload, *designDir)
+		return runWorkload(pipe, workload, *designDir, *repeat)
 	}
 
 	design, err := xmlspec.LoadDesign(*designDir)
 	if err != nil {
 		return err
 	}
-	el, err := pipe.ElaborateDesign(design)
+	pd, err := pipe.PrepareDesign(design)
 	if err != nil {
 		return err
 	}
@@ -86,20 +89,20 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := el.LoadMemory(m.ID, words); err != nil {
+		if err := pd.SetSeed(m.ID, words); err != nil {
 			return err
 		}
 		fmt.Printf("loaded %s from %s (%d words)\n", m.ID, path, m.Depth)
 	}
 
-	res, err := pipe.Simulate(el)
+	res, err := replayRounds(pd, *repeat)
 	if err != nil {
 		return err
 	}
 	if !res.Completed {
 		return fmt.Errorf("simulation incomplete (cycle cap %d)", ff.Cycles)
 	}
-	for _, id := range el.MemoryIDs() {
+	for _, id := range pd.Elaborated().MemoryIDs() {
 		out := filepath.Join(*designDir, id+".out.mem")
 		if err := memfile.Save(out, res.Memories[id], "simulated contents of "+id); err != nil {
 			return err
@@ -110,16 +113,43 @@ func run() error {
 	return nil
 }
 
+// replayRounds simulates the prepared design repeat times (reseeding
+// each round) and returns the final round's result, reporting the
+// amortized reconfiguration throughput when more than one round ran.
+func replayRounds(pd *flow.PreparedDesign, repeat int) (*flow.SimResult, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	start := time.Now()
+	var res *flow.SimResult
+	configs := 0
+	for i := 0; i < repeat; i++ {
+		var err error
+		res, err = pd.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		configs += len(res.Runs)
+	}
+	if repeat > 1 {
+		wall := time.Since(start)
+		fmt.Printf("replayed %d rounds (%d configurations) in %v: %.1f configs/sec\n",
+			repeat, configs, wall.Round(time.Millisecond), float64(configs)/wall.Seconds())
+	}
+	return res, nil
+}
+
 // runWorkload drives the full staged pipeline for a registry workload:
-// compile the emitted MiniJ, elaborate, seed the generated inputs,
-// simulate, verify against the family's reference model, and dump the
+// compile the emitted MiniJ, prepare (elaborate + seed the generated
+// inputs) once, simulate repeat rounds through the replay cache, verify
+// the final round against the family's reference model, and dump the
 // simulated memories under outDir.
-func runWorkload(pipe *flow.Pipeline, spec cliutil.WorkloadSpec, outDir string) error {
+func runWorkload(pipe *flow.Pipeline, spec cliutil.WorkloadSpec, outDir string, repeat int) error {
 	c, err := spec.Case()
 	if err != nil {
 		return err
 	}
-	compiled, err := pipe.Compile(flow.Source{
+	pd, err := pipe.Prepare(flow.Source{
 		Name: c.Name, Text: c.Source, Func: c.Func,
 		ArraySizes: c.ArraySizes, ScalarArgs: c.ScalarArgs,
 		Inputs: c.Inputs, Expected: c.Expected,
@@ -127,11 +157,7 @@ func runWorkload(pipe *flow.Pipeline, spec cliutil.WorkloadSpec, outDir string) 
 	if err != nil {
 		return err
 	}
-	el, err := pipe.Elaborate(compiled)
-	if err != nil {
-		return err
-	}
-	res, err := pipe.Simulate(el)
+	res, err := replayRounds(pd, repeat)
 	if err != nil {
 		return err
 	}
@@ -141,7 +167,7 @@ func runWorkload(pipe *flow.Pipeline, spec cliutil.WorkloadSpec, outDir string) 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	for _, id := range el.MemoryIDs() {
+	for _, id := range pd.Elaborated().MemoryIDs() {
 		out := filepath.Join(outDir, id+".out.mem")
 		if err := memfile.Save(out, res.Memories[id], "simulated contents of "+id); err != nil {
 			return err
@@ -149,7 +175,7 @@ func runWorkload(pipe *flow.Pipeline, spec cliutil.WorkloadSpec, outDir string) 
 		fmt.Println("wrote", out)
 	}
 	fmt.Printf("total cycles: %d\n", res.TotalCycles)
-	verdict, err := pipe.Verify(compiled, res)
+	verdict, err := pipe.Verify(pd.Compiled(), res)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/hades"
 	"repro/internal/workloads"
@@ -49,11 +50,13 @@ func (f *FlowFlags) Options() []flow.Option {
 
 // RunnerFlags bundles the suite-execution flags shared by the tools that
 // run regression cases (testsuite, gnc -verify): worker count, per-case
-// timeout, fail-fast, and machine-readable output.
+// timeout, fail-fast, verify-sweep repetitions, and machine-readable
+// output.
 type RunnerFlags struct {
 	Jobs     int
 	Timeout  time.Duration
 	FailFast bool
+	Repeat   int
 	JSON     bool
 }
 
@@ -66,7 +69,13 @@ func (f *RunnerFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Jobs, "j", runtime.GOMAXPROCS(0), "parallel suite workers (<=0: one per CPU)")
 	fs.DurationVar(&f.Timeout, "timeout", 0, "per-case timeout; a case exceeding it fails (0 = none)")
 	fs.BoolVar(&f.FailFast, "failfast", false, "cancel pending cases after the first failure")
+	fs.IntVar(&f.Repeat, "repeat", 1, "simulate-and-verify rounds per case; rounds after the first reset-and-replay the prepared design")
 	fs.BoolVar(&f.JSON, "json", false, "emit one JSON object per case instead of the text report")
+}
+
+// Runner renders the parsed flags as a configured suite runner.
+func (f *RunnerFlags) Runner() *core.Runner {
+	return &core.Runner{Workers: f.Jobs, Timeout: f.Timeout, FailFast: f.FailFast, Repeat: f.Repeat}
 }
 
 // WorkloadSpec is the parsed value of the -workload flag shared by the

@@ -11,6 +11,7 @@
 //	testsuite -j 4            # shard the cases across 4 workers
 //	testsuite -json           # one JSON object per case (CI artifacts)
 //	testsuite -failfast -timeout 30s
+//	testsuite -repeat 8       # verify sweep: 8 reset-and-replay rounds per case
 //	testsuite -backend heapref # run the whole suite on the heap kernel
 //	testsuite -table1         # reproduce Table I (plus the newer families)
 //	testsuite -pixels 65536   # FDCT cases over a larger image
@@ -59,7 +60,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	runner := &core.Runner{Workers: rf.Jobs, Timeout: rf.Timeout, FailFast: rf.FailFast}
+	runner := rf.Runner()
 	if *table1 {
 		return runTable1(suite, runner, *pixels, *words, opts, rf.JSON)
 	}

@@ -19,13 +19,18 @@ import (
 )
 
 // Measure is what one timed execution of a scenario observed. Wall is
-// the simulation wall time only (compile and golden-reference phases of
-// end-to-end scenarios are excluded, so events/sec is a kernel
-// throughput number everywhere).
+// the simulation wall time only for kernel and end-to-end scenarios
+// (compile and golden-reference phases are excluded, so events/sec is a
+// kernel throughput number), and the whole reconfiguration loop —
+// reset/elaborate included — for the replay/fresh contrast scenarios,
+// whose point is the reconfiguration overhead itself. Configs counts
+// executed configurations when the scenario walks an RTG (0 for raw
+// kernel scenarios).
 type Measure struct {
-	Events uint64
-	Cycles uint64
-	Wall   time.Duration
+	Events  uint64
+	Cycles  uint64
+	Configs uint64
+	Wall    time.Duration
 }
 
 // RunFunc executes one prepared, timed iteration of a scenario.
@@ -53,9 +58,12 @@ type Result struct {
 	Reps           int     `json:"reps"`
 	Events         uint64  `json:"events"`
 	Cycles         uint64  `json:"cycles,omitempty"`
+	Configs        uint64  `json:"configs,omitempty"`
 	WallNS         int64   `json:"wall_ns"`
 	EventsPerSec   float64 `json:"events_per_sec"`
+	ConfigsPerSec  float64 `json:"configs_per_sec,omitempty"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	AllocsPerCfg   float64 `json:"allocs_per_config,omitempty"`
 	UnixTime       int64   `json:"unix_time"`
 	GoVersion      string  `json:"go_version"`
 	GOOS           string  `json:"goos"`
@@ -87,7 +95,7 @@ func Run(sc Scenario, reps int) (*Result, error) {
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 	}
-	var totalAllocs, totalEvents uint64
+	var totalAllocs, totalEvents, totalConfigs uint64
 	best := -1.0
 	for i := 0; i < reps; i++ {
 		var before, after runtime.MemStats
@@ -102,15 +110,23 @@ func Run(sc Scenario, reps int) (*Result, error) {
 		}
 		totalAllocs += after.Mallocs - before.Mallocs
 		totalEvents += m.Events
+		totalConfigs += m.Configs
 		if eps := float64(m.Events) / m.Wall.Seconds(); eps > best {
 			best = eps
 			res.Events = m.Events
 			res.Cycles = m.Cycles
+			res.Configs = m.Configs
 			res.WallNS = m.Wall.Nanoseconds()
 			res.EventsPerSec = eps
+			if m.Configs > 0 {
+				res.ConfigsPerSec = float64(m.Configs) / m.Wall.Seconds()
+			}
 		}
 	}
 	res.AllocsPerEvent = float64(totalAllocs) / float64(totalEvents)
+	if totalConfigs > 0 {
+		res.AllocsPerCfg = float64(totalAllocs) / float64(totalConfigs)
+	}
 	return res, nil
 }
 
@@ -163,12 +179,14 @@ func Load(dir string) (map[string]*Result, error) {
 	return out, nil
 }
 
-// Regression is one scenario that fell below the baseline tolerance,
-// or whose run and baseline are not comparable at all (Mismatch set).
+// Regression is one scenario that fell outside the baseline tolerance
+// on some metric, or whose run and baseline are not comparable at all
+// (Mismatch set).
 type Regression struct {
 	Name     string
-	Baseline float64 // baseline events/sec
-	Current  float64 // current events/sec
+	Metric   string  // "events/sec" (lower is worse) or "allocs/event" (higher is worse)
+	Baseline float64 // baseline value of the metric
+	Current  float64 // current value of the metric
 	Ratio    float64 // current / baseline
 	Mismatch string  // non-empty: results are incomparable (wrong backend)
 }
@@ -177,18 +195,31 @@ func (r Regression) String() string {
 	if r.Mismatch != "" {
 		return fmt.Sprintf("%s: %s", r.Name, r.Mismatch)
 	}
-	return fmt.Sprintf("%s: %.0f events/sec vs baseline %.0f (%.2fx)",
-		r.Name, r.Current, r.Baseline, r.Ratio)
+	metric := r.Metric
+	if metric == "" {
+		metric = "events/sec"
+	}
+	return fmt.Sprintf("%s: %.4g %s vs baseline %.4g (%.2fx)",
+		r.Name, r.Current, metric, r.Baseline, r.Ratio)
 }
 
-// Compare checks current results against a baseline: every baseline
-// scenario must be present and within threshold (e.g. 0.25 fails below
-// 75% of baseline events/sec). A missing current result is reported as
-// a regression with zero throughput so a silently-dropped scenario can
-// never pass the gate, and a backend mismatch between a result and its
-// baseline is reported as incomparable — gating a backend against
-// another backend's numbers (a stale -baseline path) must never pass
-// or fail on the throughput difference between the kernels.
+// allocFloor is the absolute allocs/event slack below which the alloc
+// gate stays silent: near-zero baselines (fractions of an allocation
+// per thousand events) would otherwise fail on measurement noise from
+// a 25% relative check.
+const allocFloor = 0.05
+
+// Compare checks current results against a baseline on two metrics:
+// events/sec must stay within threshold below baseline (e.g. 0.25
+// fails below 75%), and allocs/event must stay within threshold above
+// baseline (0.25 fails past 125%, with allocFloor absolute slack so
+// near-zero baselines don't gate on noise) — a perf win that paid for
+// itself in garbage is a regression too. A missing current result is
+// reported as a regression with zero throughput so a silently-dropped
+// scenario can never pass the gate, and a backend mismatch between a
+// result and its baseline is reported as incomparable — gating a
+// backend against another backend's numbers (a stale -baseline path)
+// must never pass or fail on the difference between the kernels.
 func Compare(current, baseline map[string]*Result, threshold float64) []Regression {
 	var regs []Regression
 	names := make([]string, 0, len(baseline))
@@ -203,7 +234,7 @@ func Compare(current, baseline map[string]*Result, threshold float64) []Regressi
 		}
 		cur, ok := current[name]
 		if !ok {
-			regs = append(regs, Regression{Name: name, Baseline: base.EventsPerSec})
+			regs = append(regs, Regression{Name: name, Metric: "events/sec", Baseline: base.EventsPerSec})
 			continue
 		}
 		if base.Backend != "" && cur.Backend != "" && base.Backend != cur.Backend {
@@ -215,12 +246,26 @@ func Compare(current, baseline map[string]*Result, threshold float64) []Regressi
 			})
 			continue
 		}
-		ratio := cur.EventsPerSec / base.EventsPerSec
-		if ratio < 1-threshold {
+		if ratio := cur.EventsPerSec / base.EventsPerSec; ratio < 1-threshold {
 			regs = append(regs, Regression{
 				Name:     name,
+				Metric:   "events/sec",
 				Baseline: base.EventsPerSec,
 				Current:  cur.EventsPerSec,
+				Ratio:    ratio,
+			})
+		}
+		if cur.AllocsPerEvent > base.AllocsPerEvent*(1+threshold) &&
+			cur.AllocsPerEvent-base.AllocsPerEvent > allocFloor {
+			ratio := 0.0
+			if base.AllocsPerEvent > 0 {
+				ratio = cur.AllocsPerEvent / base.AllocsPerEvent
+			}
+			regs = append(regs, Regression{
+				Name:     name,
+				Metric:   "allocs/event",
+				Baseline: base.AllocsPerEvent,
+				Current:  cur.AllocsPerEvent,
 				Ratio:    ratio,
 			})
 		}

@@ -218,3 +218,63 @@ func TestCompareRejectsBackendMismatch(t *testing.T) {
 		t.Fatalf("legacy baseline must stay comparable: %v", regs)
 	}
 }
+
+// TestCompareAllocsGate: the gate also fails on allocs/event blowups —
+// but only past the absolute floor, so near-zero baselines don't gate
+// on noise.
+func TestCompareAllocsGate(t *testing.T) {
+	base := map[string]*Result{
+		"hot":  {Name: "hot", EventsPerSec: 1000, AllocsPerEvent: 1.0},
+		"cold": {Name: "cold", EventsPerSec: 1000, AllocsPerEvent: 0.001},
+	}
+	cur := map[string]*Result{
+		"hot":  {Name: "hot", EventsPerSec: 1000, AllocsPerEvent: 2.0},   // blown up
+		"cold": {Name: "cold", EventsPerSec: 1000, AllocsPerEvent: 0.01}, // 10x but under the floor
+	}
+	regs := Compare(cur, base, 0.25)
+	if len(regs) != 1 || regs[0].Name != "hot" || regs[0].Metric != "allocs/event" {
+		t.Fatalf("regs=%v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "allocs/event") {
+		t.Fatalf("message=%q", regs[0].String())
+	}
+	// A scenario can regress on both metrics at once.
+	cur["hot"].EventsPerSec = 100
+	if regs := Compare(cur, base, 0.25); len(regs) != 2 {
+		t.Fatalf("both metrics must report: %v", regs)
+	}
+}
+
+// TestReplayBeatsFreshReconfiguration is the acceptance check for the
+// replay cache: on the repeat-heavy contrast scenario, reset-and-replay
+// must deliver at least 2x the configs/sec of the fresh-elaboration
+// path with a fraction of its allocations per configuration.
+func TestReplayBeatsFreshReconfiguration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scs, err := Select("replay-hamming-x64,fresh-hamming-x64", Scenarios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]*Result{}
+	for _, sc := range scs {
+		res, err := Run(sc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Configs == 0 || res.ConfigsPerSec <= 0 {
+			t.Fatalf("%s: no configuration metrics: %+v", sc.Name, res)
+		}
+		results[sc.Name] = res
+	}
+	replay, fresh := results["replay-hamming-x64"], results["fresh-hamming-x64"]
+	if ratio := replay.ConfigsPerSec / fresh.ConfigsPerSec; ratio < 2 {
+		t.Fatalf("replay %.0f configs/sec vs fresh %.0f: %.2fx, want >= 2x",
+			replay.ConfigsPerSec, fresh.ConfigsPerSec, ratio)
+	}
+	if replay.AllocsPerCfg > fresh.AllocsPerCfg/10 {
+		t.Fatalf("replay allocs/config %.1f vs fresh %.1f: cache is not near-zero",
+			replay.AllocsPerCfg, fresh.AllocsPerCfg)
+	}
+}

@@ -43,6 +43,7 @@ func ScenariosFor(backend string) []Scenario {
 		{Name: "handcrafted-acc", Desc: "stimulus-fed accumulator over 4096 words (examples/handcrafted)",
 			Pinned: true, Prepare: prepareHandcrafted(backend)},
 	}
+	list = append(list, reconfigScenarios(backend)...)
 
 	// Every registered workload family's bench presets, end to end
 	// through the RTG; wall time is the simulation only. Width presets
@@ -192,51 +193,66 @@ func buildFarTimers(sim *hades.Simulator) {
 
 // --- end-to-end scenarios ---------------------------------------------------
 
-// e2eScenario compiles the case once, then per iteration walks the RTG
-// on fresh simulators. Wall is the sum of the per-configuration
-// simulation walls: compile, memory seeding and controller setup are
-// excluded, so events/sec tracks the kernel, not the frontend.
+// e2eScenario compiles and prepares the case once, then per iteration
+// reseeds and walks the RTG through the reconfiguration replay cache.
+// Wall is the sum of the per-configuration simulation walls: compile,
+// memory seeding and reset/elaboration are excluded, so events/sec
+// tracks the kernel, not the frontend (the replay/fresh contrast
+// scenarios measure the frontend; see reconfigScenarios).
 func e2eScenario(backend, name, desc string, pinned bool, tc func() (core.TestCase, error), opts core.Options) Scenario {
 	return Scenario{
 		Name:   name,
 		Desc:   desc,
 		Pinned: pinned,
 		Prepare: func() (RunFunc, error) {
-			c, err := tc()
+			pd, err := prepareCase(backend, tc, opts, false)
 			if err != nil {
 				return nil, err
 			}
-			design, err := core.CompileOnly(c, opts)
-			if err != nil {
-				return nil, err
-			}
-			pipe, err := flow.New(flow.WithBackend(backend))
-			if err != nil {
-				return nil, err
-			}
-			return func() (Measure, error) { return executeDesign(pipe, design, c) }, nil
+			return func() (Measure, error) { return simulateOnce(pd) }, nil
 		},
 	}
 }
 
-func executeDesign(pipe *flow.Pipeline, design *xmlspec.Design, tc core.TestCase) (Measure, error) {
-	e, err := pipe.ElaborateDesign(design)
+// prepareCase materializes, compiles and prepares a test case's design
+// on the given backend, seeding the prepared design with the case's
+// inputs.
+func prepareCase(backend string, tc func() (core.TestCase, error), opts core.Options, fresh bool) (*flow.PreparedDesign, error) {
+	c, err := tc()
 	if err != nil {
-		return Measure{}, err
+		return nil, err
 	}
-	for name, depth := range tc.ArraySizes {
+	design, err := core.CompileOnly(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := flow.New(flow.WithBackend(backend), flow.WithFreshElaboration(fresh))
+	if err != nil {
+		return nil, err
+	}
+	pd, err := pipe.PrepareDesign(design)
+	if err != nil {
+		return nil, err
+	}
+	for name, depth := range c.ArraySizes {
 		words := make([]int64, depth)
-		copy(words, tc.Inputs[name])
-		if err := e.LoadMemory(name, words); err != nil {
-			return Measure{}, err
+		copy(words, c.Inputs[name])
+		if err := pd.SetSeed(name, words); err != nil {
+			return nil, err
 		}
 	}
-	exec, err := pipe.Simulate(e)
+	return pd, nil
+}
+
+// simulateOnce runs one reseed-and-execute round, reporting sim-only
+// wall time.
+func simulateOnce(pd *flow.PreparedDesign) (Measure, error) {
+	exec, err := pd.Simulate()
 	if err != nil {
 		return Measure{}, err
 	}
 	if !exec.Completed {
-		return Measure{}, fmt.Errorf("bench: %s: simulation incomplete", tc.Name)
+		return Measure{}, fmt.Errorf("bench: %s: simulation incomplete", pd.Name())
 	}
 	var m Measure
 	for _, run := range exec.Runs {
@@ -244,7 +260,95 @@ func executeDesign(pipe *flow.Pipeline, design *xmlspec.Design, tc core.TestCase
 		m.Cycles += run.Cycles
 		m.Wall += run.Wall
 	}
+	m.Configs = uint64(len(exec.Runs))
 	return m, nil
+}
+
+// --- reconfiguration scenarios ----------------------------------------------
+
+// reconfigScenarios is the repeat-heavy contrast pair behind the replay
+// cache: the same small designs run in a tight reconfiguration loop,
+// once through reset-and-replay (replay-*) and once rebuilding every
+// configuration (fresh-*, the paper's original flow). Unlike every
+// other scenario, Wall covers the whole loop — reconfiguration
+// included — so configs/sec and allocs/config quantify exactly the
+// overhead the cache removes; comparing a replay-* result with its
+// fresh-* sibling is the A/B. Small workloads on purpose: the shorter
+// the per-configuration run, the more reconfiguration dominates, which
+// is the worst case for the fresh path and the target of this cache.
+func reconfigScenarios(backend string) []Scenario {
+	type shape struct {
+		family string
+		name   string
+		desc   string
+		vals   workloads.Values
+		rounds int
+	}
+	shapes := []shape{
+		// Deliberately tiny run on a full-sized decoder: per-visit work
+		// is almost all reconfiguration, the cache's best case and the
+		// fresh path's worst.
+		{"hamming", "hamming-x64", "hamming(words=1) reconfiguration loop, 64 runs per iteration", workloads.Values{"words": 1}, 64},
+		// Multi-partition coverage: every loop round walks a two-node
+		// RTG, so the cache serves two configurations per run.
+		{"fdct2", "fdct2-x8", "fdct2(pixels=64) two-partition RTG loop, 8 runs per iteration", workloads.Values{"pixels": 64}, 8},
+	}
+	var list []Scenario
+	for _, sh := range shapes {
+		sh := sh
+		tc := func() (core.TestCase, error) {
+			w, err := workloads.Lookup(sh.family)
+			if err != nil {
+				return core.TestCase{}, err
+			}
+			c, err := workloads.BuildWorkloadInputs(w, sh.vals)
+			if err != nil {
+				return core.TestCase{}, err
+			}
+			c.Name = sh.name
+			return core.WorkloadCase(c), nil
+		}
+		for _, mode := range []struct {
+			prefix string
+			fresh  bool
+		}{{"replay", false}, {"fresh", true}} {
+			mode := mode
+			list = append(list, Scenario{
+				Name:   mode.prefix + "-" + sh.name,
+				Desc:   sh.desc + " (" + mode.prefix + " reconfiguration)",
+				Family: sh.family,
+				Pinned: true,
+				Prepare: func() (RunFunc, error) {
+					pd, err := prepareCase(backend, tc, core.Options{}, mode.fresh)
+					if err != nil {
+						return nil, err
+					}
+					rounds := sh.rounds
+					return func() (Measure, error) {
+						var m Measure
+						start := time.Now()
+						for i := 0; i < rounds; i++ {
+							exec, err := pd.Simulate()
+							if err != nil {
+								return Measure{}, err
+							}
+							if !exec.Completed {
+								return Measure{}, fmt.Errorf("bench: %s: simulation incomplete", pd.Name())
+							}
+							for _, run := range exec.Runs {
+								m.Events += run.Events
+								m.Cycles += run.Cycles
+							}
+							m.Configs += uint64(len(exec.Runs))
+						}
+						m.Wall = time.Since(start)
+						return m, nil
+					}, nil
+				},
+			})
+		}
+	}
+	return list
 }
 
 // --- handcrafted scenario ---------------------------------------------------

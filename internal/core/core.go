@@ -109,6 +109,7 @@ type CaseResult struct {
 	Name       string
 	Passed     bool
 	Skipped    bool // true when fail-fast or cancellation skipped the case
+	Replays    int  // simulate-and-verify rounds run on the prepared design (>= 1)
 	Mismatches map[string][]memfile.Mismatch
 	Partitions []PartitionStats
 	SourceLoC  int
@@ -183,16 +184,31 @@ func RunCase(tc TestCase, opts Options) (*CaseResult, error) {
 // and is polled by the event kernel once per simulated instant, so a
 // timed-out case fails promptly instead of hanging the suite.
 func RunCaseContext(ctx context.Context, tc TestCase, opts Options) (*CaseResult, error) {
+	return RunCaseRepeatContext(ctx, tc, opts, 1)
+}
+
+// RunCaseRepeatContext is RunCaseContext with the case's design
+// prepared once and the simulate-and-verify round run reps times
+// through the reconfiguration replay cache — the verify-sweep shape
+// that amortizes compile and elaboration across rounds. Every round
+// must verify; the recorded per-partition statistics and SimWall come
+// from the final round (replayed rounds are trace-identical, so the
+// rounds agree).
+func RunCaseRepeatContext(ctx context.Context, tc TestCase, opts Options, reps int) (*CaseResult, error) {
+	if reps <= 0 {
+		reps = 1
+	}
 	p, err := flow.New(opts.FlowOptions(ctx)...)
 	if err != nil {
 		return nil, err
 	}
 	res := &CaseResult{Name: tc.Name, Mismatches: map[string][]memfile.Mismatch{}, Artifacts: map[string]string{}}
 
-	c, err := p.Compile(tc.FlowSource())
+	d, err := p.Prepare(tc.FlowSource())
 	if err != nil {
 		return nil, err
 	}
+	c := d.Compiled()
 	res.SourceLoC = c.SourceLoC
 	res.TotalOps = c.TotalOps
 	for _, pi := range c.Partitions {
@@ -209,37 +225,40 @@ func RunCaseContext(ctx context.Context, tc TestCase, opts Options) (*CaseResult
 		res.Artifacts[label] = path
 	}
 
-	e, err := p.Elaborate(c)
-	if err != nil {
-		return nil, err
-	}
-	sim, err := p.Simulate(e)
-	if err != nil {
-		return nil, err
-	}
-	for i, run := range sim.Runs {
-		if i < len(res.Partitions) {
-			res.Partitions[i].Cycles = run.Cycles
-			res.Partitions[i].SimWall = run.Wall
-			res.Partitions[i].SimulatedEvents = run.Events
+	for rep := 0; rep < reps; rep++ {
+		sim, err := d.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		res.Replays = rep + 1
+		for i, run := range sim.Runs {
+			if i < len(res.Partitions) {
+				res.Partitions[i].Cycles = run.Cycles
+				res.Partitions[i].SimWall = run.Wall
+				res.Partitions[i].SimulatedEvents = run.Events
+			}
+		}
+		res.SimWall = sim.SimWall
+		for label, path := range sim.Artifacts {
+			res.Artifacts[label] = path
+		}
+		if !sim.Completed {
+			res.Passed = false
+			res.Err = fmt.Errorf("core: %s: simulation incomplete after cycle cap (round %d of %d)", tc.Name, rep+1, reps)
+			return res, nil
+		}
+
+		v, err := p.Verify(c, sim)
+		if err != nil {
+			return nil, err
+		}
+		res.Passed = v.Passed
+		res.Mismatches = v.Mismatches
+		res.RefWall = v.RefWall
+		res.RefSteps = v.RefSteps
+		if !v.Passed {
+			return res, nil // mismatches mark the failure, as in the single-round flow
 		}
 	}
-	res.SimWall = sim.SimWall
-	for label, path := range sim.Artifacts {
-		res.Artifacts[label] = path
-	}
-	if !sim.Completed {
-		res.Err = fmt.Errorf("core: %s: simulation incomplete after cycle cap", tc.Name)
-		return res, nil
-	}
-
-	v, err := p.Verify(c, sim)
-	if err != nil {
-		return nil, err
-	}
-	res.Passed = v.Passed
-	res.Mismatches = v.Mismatches
-	res.RefWall = v.RefWall
-	res.RefSteps = v.RefSteps
 	return res, nil
 }

@@ -309,3 +309,22 @@ func TestCaseObserversStream(t *testing.T) {
 		t.Fatalf("observer saw %q", lines.String())
 	}
 }
+
+// TestRunCaseRepeatReplays pins the verify-sweep shape: one prepared
+// design, several verified rounds, the case reporting how many replays
+// it served, with a multi-partition design in the loop.
+func TestRunCaseRepeatReplays(t *testing.T) {
+	res, err := RunCaseRepeatContext(nil, fdctCase(t, "fdct2", 128, true), Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || !res.Passed {
+		t.Fatalf("repeat run failed: err=%v mismatches=%v", res.Err, res.Failed())
+	}
+	if res.Replays != 3 {
+		t.Fatalf("Replays=%d want 3", res.Replays)
+	}
+	if len(res.Partitions) != 2 || res.Partitions[0].SimulatedEvents == 0 {
+		t.Fatalf("partitions=%+v", res.Partitions)
+	}
+}

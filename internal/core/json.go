@@ -13,6 +13,7 @@ type caseRecord struct {
 	Name       string            `json:"name"`
 	Passed     bool              `json:"passed"`
 	Skipped    bool              `json:"skipped,omitempty"`
+	Replays    int               `json:"replays,omitempty"`
 	Error      string            `json:"error,omitempty"`
 	WallNS     int64             `json:"wall_ns"`
 	SimWallNS  int64             `json:"sim_wall_ns"`
@@ -61,6 +62,7 @@ func (s *SuiteResult) WriteJSON(w io.Writer) error {
 			Name:      r.Name,
 			Passed:    r.OK(),
 			Skipped:   r.Skipped,
+			Replays:   r.Replays,
 			WallNS:    r.Wall.Nanoseconds(),
 			SimWallNS: r.SimWall.Nanoseconds(),
 			RefWallNS: r.RefWall.Nanoseconds(),

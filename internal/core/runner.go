@@ -31,6 +31,11 @@ type Runner struct {
 	// cases not yet started and cases interrupted mid-run are both
 	// recorded as skipped, so the one real failure stays identifiable.
 	FailFast bool
+	// Repeat runs each case's simulate-and-verify round this many times
+	// on its once-prepared design (<=0 means 1). Rounds after the first
+	// reset and replay the cached configuration graphs, so a verify
+	// sweep pays compile and elaboration once per case, not per round.
+	Repeat int
 }
 
 // Run executes the suite and returns one result per case, in case
@@ -99,7 +104,7 @@ func (r *Runner) runOne(ctx context.Context, tc TestCase, opts Options) *CaseRes
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := RunCaseContext(cctx, tc, opts)
+	res, err := RunCaseRepeatContext(cctx, tc, opts, r.Repeat)
 	wall := time.Since(start)
 	if err != nil {
 		switch cause := context.Cause(ctx); {

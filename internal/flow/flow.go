@@ -57,9 +57,13 @@ type Config struct {
 	WorkDir        string     // when set, stages write artifacts under WorkDir/<name>
 	EmitArtifacts  bool       // also write dot/java/hds translations (requires WorkDir)
 	Backend        string     // simulator backend name; "" means DefaultBackend
-	Context        context.Context
-	Registry       *operators.Registry
-	Observers      []Observer
+	// FreshElaboration disables the reconfiguration replay cache:
+	// every configuration visit rebuilds simulator and netlist (the
+	// paper's original flow). See WithFreshElaboration.
+	FreshElaboration bool
+	Context          context.Context
+	Registry         *operators.Registry
+	Observers        []Observer
 }
 
 // Option is a functional configuration option for New.
@@ -91,6 +95,17 @@ func WithArtifacts(emit bool) Option { return func(c *Config) { c.EmitArtifacts 
 
 // WithBackend selects the simulator backend by registry name.
 func WithBackend(name string) Option { return func(c *Config) { c.Backend = name } }
+
+// WithFreshElaboration(true) disables the reconfiguration replay cache,
+// rebuilding every configuration on a fresh simulator per visit — the
+// paper's original reconfiguration cost. The default (false) resets and
+// replays cached elaborations on repeat visits, which is
+// trace-identical and is what makes Prepare-once/Run-many cheap; this
+// option exists for A/B measurement (the bench fresh-* scenarios) and
+// cross-checking.
+func WithFreshElaboration(fresh bool) Option {
+	return func(c *Config) { c.FreshElaboration = fresh }
+}
 
 // WithContext threads a cancellation context through every stage; the
 // event kernel polls it once per simulated instant.
@@ -164,12 +179,13 @@ func (p *Pipeline) ctxErr(stage StageName, name string) error {
 // where the flow defaults meet it.
 func (p *Pipeline) rtgOptions() rtg.Options {
 	return rtg.Options{
-		Registry:     p.cfg.Registry,
-		ClockPeriod:  p.cfg.ClockPeriod,
-		MaxCycles:    p.cfg.MaxCycles,
-		MaxConfigs:   p.cfg.MaxConfigs,
-		NewSimulator: p.backend.New,
-		Context:      p.cfg.Context,
+		Registry:      p.cfg.Registry,
+		ClockPeriod:   p.cfg.ClockPeriod,
+		MaxCycles:     p.cfg.MaxCycles,
+		MaxConfigs:    p.cfg.MaxConfigs,
+		NewSimulator:  p.backend.New,
+		Context:       p.cfg.Context,
+		DisableReplay: p.cfg.FreshElaboration,
 		Observer: func(cfgID string, el *netlist.Elaboration) {
 			for _, o := range p.cfg.Observers {
 				o.ConfigElaborated(cfgID, el)

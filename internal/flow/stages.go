@@ -340,30 +340,15 @@ func (o *Outcome) OK() bool { return o.Verdict != nil && o.Verdict.Passed }
 
 // Run executes the full flow — compile, elaborate, simulate, verify —
 // for one source. An incomplete simulation (cycle cap) yields a nil
-// Verdict, not an error.
+// Verdict, not an error. To run the same source repeatedly, use Prepare
+// and call Run on the PreparedDesign: it amortizes the compile and
+// elaborate stages across rounds.
 func (p *Pipeline) Run(src Source) (*Outcome, error) {
-	c, err := p.Compile(src)
+	d, err := p.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	e, err := p.Elaborate(c)
-	if err != nil {
-		return nil, err
-	}
-	s, err := p.Simulate(e)
-	if err != nil {
-		return nil, err
-	}
-	out := &Outcome{Compiled: c, Sim: s}
-	if !s.Completed {
-		return out, nil
-	}
-	v, err := p.Verify(c, s)
-	if err != nil {
-		return nil, err
-	}
-	out.Verdict = v
-	return out, nil
+	return d.Run()
 }
 
 // countLines counts non-blank lines.

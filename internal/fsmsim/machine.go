@@ -120,6 +120,18 @@ func New(sim *hades.Simulator, spec *xmlspec.FSM, clk, rst *hades.Signal,
 // Name returns the FSM name.
 func (m *Machine) Name() string { return m.name }
 
+// Reset rewinds the machine for replay after a simulator reset: back to
+// the initial state with the cycle counter, edge tracker and trace
+// cleared, immediately driving the initial state's outputs exactly as
+// New does at elaboration time.
+func (m *Machine) Reset(sim *hades.Simulator) {
+	m.current = m.initial
+	m.cycles = 0
+	m.prevClk = false
+	m.trace = m.trace[:0]
+	m.driveOutputs(sim, true)
+}
+
 // CurrentState returns the name of the state the machine is in.
 func (m *Machine) CurrentState() string { return m.states[m.current].name }
 

@@ -90,3 +90,13 @@ func (w *Watchdog) React(sim *Simulator) {
 
 // Fired reports whether the condition was observed, and when.
 func (w *Watchdog) Fired() (bool, Time) { return w.fired, w.firedT }
+
+// Rearm clears the fired state and re-attaches the watchdog to its
+// signal. Only call it after Simulator.Reset has detached the listeners
+// added since the elaboration Mark; rearming a still-attached watchdog
+// would double-register it.
+func (w *Watchdog) Rearm() {
+	w.fired = false
+	w.firedT = 0
+	w.sig.Listen(w)
+}

@@ -33,6 +33,11 @@ func (c *Clock) Signal() *Signal { return c.sig }
 // Period returns the clock period in ticks.
 func (c *Clock) Period() Time { return c.period }
 
+// SetLimit reprograms the scheduling horizon, for reusing one clock
+// across reset-and-replay rounds (the limit of a fresh round differs
+// when the caller's cycle cap does).
+func (c *Clock) SetLimit(limit Time) { c.limit = limit }
+
 // Start drives the signal low and schedules the first rising edge.
 func (c *Clock) Start(sim *Simulator) {
 	sim.Drive(c.sig, 0)

@@ -21,6 +21,16 @@ type heapQueue struct {
 
 func (q *heapQueue) len() int { return len(q.h) }
 
+// reset releases every queued event back to the pool, keeping the heap's
+// backing array for the next run.
+func (q *heapQueue) reset() {
+	for i, e := range q.h {
+		q.release(e)
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+}
+
 func (q *heapQueue) schedule(e *event) {
 	h := append(q.h, e)
 	i := len(h) - 1

@@ -14,7 +14,9 @@ import "math/bits"
 // caller may abandon it on a limit or interrupt), commitTime finalises
 // a peeked instant, and popInstant hands back the whole (time) batch as
 // a seq-ordered chain. alloc/release pool event structs so the steady
-// state schedules without allocating.
+// state schedules without allocating; reset returns every pending event
+// to that pool and rewinds the structure to time zero, so a replayed
+// run reuses the warmed pool instead of reallocating it.
 type kernelQueue interface {
 	alloc() *event
 	release(*event)
@@ -23,6 +25,7 @@ type kernelQueue interface {
 	peekTime(limit Time) (t Time, deferred bool, ok bool)
 	commitTime(t Time, deferred bool)
 	popInstant(t Time) *event
+	reset()
 }
 
 // eventPool is the intrusive free list shared by the queue
@@ -112,6 +115,31 @@ type twoLevelQueue struct {
 
 // len reports the number of queued events (lanes + overflow).
 func (q *twoLevelQueue) len() int { return q.laneLive + len(q.overflow) }
+
+// reset releases every queued event back to the pool and rewinds the
+// window onto time zero. The pool itself and the overflow heap's
+// backing array are kept, so a replayed run schedules allocation-free
+// from the first event.
+func (q *twoLevelQueue) reset() {
+	for idx := range q.laneHead {
+		for e := q.laneHead[idx]; e != nil; {
+			next := e.next
+			q.release(e)
+			e = next
+		}
+		q.laneHead[idx], q.laneTail[idx] = nil, nil
+	}
+	for i := range q.laneBits {
+		q.laneBits[i] = 0
+	}
+	q.laneLive = 0
+	q.base, q.scan = 0, 0
+	for i, e := range q.overflow {
+		q.release(e)
+		q.overflow[i] = nil
+	}
+	q.overflow = q.overflow[:0]
+}
 
 // windowEnd returns base+laneCount saturated at TimeMax.
 func (q *twoLevelQueue) windowEnd() Time {

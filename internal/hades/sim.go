@@ -30,11 +30,20 @@ func (r *ReactorFunc) React(sim *Simulator) { r.Fn(sim) }
 // Stats accumulates kernel counters; the paper's evaluation reports
 // simulation wall times, which the benchmarks derive while these counters
 // support the ablation experiments.
+//
+// Events through Instants are per-run counters: Reset rewinds them to
+// zero along with simulated time. Elaborations and Resets are lifetime
+// counters that survive Reset — together they record how often this
+// simulator's fabric was rebuilt versus reset-and-replayed, the
+// reconfiguration cost the replay cache amortizes.
 type Stats struct {
 	Events    uint64 // signal-update events applied
 	Deltas    uint64 // delta cycles executed
 	Reactions uint64 // reactor invocations
 	Instants  uint64 // distinct simulated time points
+
+	Elaborations uint64 // netlist elaborations built on this simulator
+	Resets       uint64 // reset-and-replay rounds served
 }
 
 // ErrMaxDeltas is returned when a single instant exceeds the delta-cycle
@@ -87,6 +96,20 @@ type Simulator struct {
 	order   []Reactor
 	ids     map[Reactor]int // ordering ids for reactors without their own
 	nextID  int
+
+	mark simMark // structural baseline Reset rewinds to (see Mark)
+}
+
+// simMark is the structural snapshot taken by Mark: how many signals
+// exist, how many listeners each carries, and how many finish callbacks
+// are registered. Reset truncates back to these counts, detaching
+// everything attached after the mark (clocks, watchdogs, probes, VCD
+// taps) while keeping the wired component graph itself.
+type simMark struct {
+	valid     bool
+	signals   int
+	listeners []int // per signal, parallel to Simulator.signals
+	finalize  int
 }
 
 // Kernel names for the queue implementations behind a Simulator. The
@@ -141,6 +164,68 @@ func (s *Simulator) Now() Time { return s.now }
 
 // Stats returns a copy of the kernel counters.
 func (s *Simulator) Stats() Stats { return s.stats }
+
+// NoteElaboration counts one netlist elaboration built on this
+// simulator (a lifetime counter; see Stats).
+func (s *Simulator) NoteElaboration() { s.stats.Elaborations++ }
+
+// Mark snapshots the simulator's structure — registered signals, their
+// listener counts, and finish callbacks — as the baseline Reset rewinds
+// to. The elaboration layer calls it once the component graph is wired,
+// so anything attached afterwards (clocks, watchdogs, probes, VCD taps)
+// is detached again by Reset while the graph itself survives. A later
+// Mark replaces the earlier one.
+func (s *Simulator) Mark() {
+	s.mark.valid = true
+	s.mark.signals = len(s.signals)
+	s.mark.listeners = s.mark.listeners[:0]
+	for _, sig := range s.signals {
+		s.mark.listeners = append(s.mark.listeners, len(sig.listeners))
+	}
+	s.mark.finalize = len(s.finalize)
+}
+
+// Reset rewinds the simulator so the same wired design can be run again
+// without rebuilding: every pending event (both queue levels and the
+// delta FIFO) returns to the free list, simulated time, the event
+// sequence counter and the per-run Stats counters rewind to zero, any
+// requested stop is cleared, and every signal becomes undefined again
+// (the power-on X state). When a Mark was taken, signals created and
+// listeners/finish callbacks attached after it are removed.
+//
+// Reset touches only kernel state. Re-establishing the design's
+// power-on drives (constants, register reset values, FSM outputs) is
+// the elaboration layer's job — see netlist.Elaboration.Reset, which
+// wraps this and replays the elaboration-time initialisation.
+func (s *Simulator) Reset() {
+	for e := s.nextDeltaHead; e != nil; {
+		next := e.next
+		s.q.release(e)
+		e = next
+	}
+	s.nextDeltaHead, s.nextDeltaTail, s.nextDeltaLen = nil, nil, 0
+	s.q.reset()
+	s.now, s.delta, s.seq = 0, 0, 0
+	s.stopped, s.stopWhy = false, ""
+	for k := range s.pending {
+		delete(s.pending, k)
+	}
+	s.order = s.order[:0]
+	if s.mark.valid {
+		for _, sig := range s.signals[s.mark.signals:] {
+			sig.listeners = nil
+		}
+		s.signals = s.signals[:s.mark.signals]
+		for i, sig := range s.signals {
+			sig.listeners = sig.listeners[:s.mark.listeners[i]]
+		}
+		s.finalize = s.finalize[:s.mark.finalize]
+	}
+	for _, sig := range s.signals {
+		sig.val, sig.valid, sig.lastChange = 0, false, 0
+	}
+	s.stats = Stats{Elaborations: s.stats.Elaborations, Resets: s.stats.Resets + 1}
+}
 
 // PendingEvents reports the number of scheduled-but-unapplied events.
 func (s *Simulator) PendingEvents() int { return s.q.len() + s.nextDeltaLen }

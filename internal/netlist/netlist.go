@@ -40,6 +40,22 @@ type Elaboration struct {
 	Statuses   map[string]*hades.Signal   // status lines by name
 	Wires      map[string]*hades.Signal   // driver endpoint -> signal
 	Done       *hades.Signal              // Controls["done"] when declared
+
+	// Replay support: the components in elaboration order with the seed
+	// data each was built with, the lazily created ground signal, and
+	// the clock/watchdog RunToCompletion reuses across replay rounds.
+	inits []compInit
+	gnd   *hades.Signal
+	clock *hades.Clock
+	dog   *hades.Watchdog
+}
+
+// compInit remembers one component's elaboration-order position and the
+// initial contents it was built with, so Reset can reseed it.
+type compInit struct {
+	id   string
+	comp hades.Reactor
+	init []int64
 }
 
 // tieDefaults lists input ports that may legitimately be left undriven
@@ -219,7 +235,53 @@ func Elaborate(sim *hades.Simulator, clk *hades.Signal, dp *xmlspec.Datapath,
 	for _, pd := range todo {
 		el.Components[pd.op.ID].React(sim)
 	}
+
+	// Arm replay: remember each component's seed data in elaboration
+	// order, and mark the simulator so Reset can detach everything
+	// attached after this point (clock, watchdog, probes, VCD taps).
+	for _, pd := range todo {
+		el.inits = append(el.inits, compInit{id: pd.op.ID, comp: el.Components[pd.op.ID], init: pd.param.Init})
+	}
+	el.gnd = gnd
+	sim.NoteElaboration()
+	sim.Mark()
 	return el, nil
+}
+
+// Reset rewinds a live elaboration so the same wired component graph
+// can be run again without rebuilding — the replay half of the
+// reconfiguration cache. The simulator is reset (events, time, per-run
+// stats, signal definedness), then the elaboration-time initialisation
+// is replayed in the original order: power-on drives re-asserted,
+// memories and stimuli reseeded, the FSM rewound to its initial state,
+// sinks cleared, and the combinational settle pass re-run. init
+// overrides a component's seed contents by operator id (the
+// reconfiguration controller passes the current shared-store images);
+// components absent from init reload the contents they were originally
+// elaborated with.
+//
+// After Reset the elaboration is bit-for-bit in the state a fresh
+// Elaborate with the same seeds would produce, which
+// rtg.TestReplayMatchesFreshElaboration pins on both kernels.
+func (el *Elaboration) Reset(init map[string][]int64) {
+	sim := el.Sim
+	sim.Reset()
+	if el.gnd != nil {
+		sim.Drive(el.gnd, 0)
+	}
+	for _, ci := range el.inits {
+		data, ok := init[ci.id]
+		if !ok {
+			data = ci.init
+		}
+		if r, replayable := ci.comp.(operators.Replayable); replayable {
+			r.ResetState(sim, data)
+		}
+	}
+	el.Machine.Reset(sim)
+	for _, ci := range el.inits {
+		ci.comp.React(sim)
+	}
 }
 
 func tieable(typ, port string) bool {
@@ -262,15 +324,26 @@ type RunResult struct {
 	FinalState string
 }
 
-// RunToCompletion drives the elaborated configuration with a fresh clock
+// RunToCompletion drives the elaborated configuration with its clock
 // until the FSM asserts done (or reaches a final state), bounded by
-// maxCycles. It owns the clock: the caller must not have started one.
+// maxCycles. It owns the clock: the caller must not have started one,
+// and between successive calls the elaboration must be Reset (the
+// replay path), which detaches the previous round's clock and watchdog
+// so this call can re-arm the same instances allocation-free.
 func (el *Elaboration) RunToCompletion(period hades.Time, maxCycles uint64) (*RunResult, error) {
 	limit := hades.Time(int64(maxCycles)*int64(period)) + el.Sim.Now()
-	clock := hades.NewClock("clk", el.Clk, period, limit)
-	clock.Start(el.Sim)
+	if el.clock == nil || el.clock.Period() != period {
+		el.clock = hades.NewClock("clk", el.Clk, period, limit)
+	} else {
+		el.clock.SetLimit(limit)
+	}
+	el.clock.Start(el.Sim)
 	if el.Done != nil {
-		hades.NewWatchdog("done", el.Done, 1)
+		if el.dog == nil {
+			el.dog = hades.NewWatchdog("done", el.Done, 1)
+		} else {
+			el.dog.Rearm()
+		}
 	}
 	end, err := el.Sim.Run(limit)
 	if err != nil {

@@ -87,10 +87,21 @@ func (m *RAM) Poke(addr int, v int64) {
 // Contents returns a snapshot of the memory as sign-extended words.
 func (m *RAM) Contents() []int64 {
 	out := make([]int64, len(m.mem))
-	for i, v := range m.mem {
-		out[i] = hades.SignExtend(v, m.width)
-	}
+	m.CopyContents(out)
 	return out
+}
+
+// CopyContents writes the memory into dst as sign-extended words,
+// stopping at the shorter of the two — the allocation-free form of
+// Contents, for the reconfiguration write-back on the replay hot path.
+func (m *RAM) CopyContents(dst []int64) {
+	n := len(m.mem)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = hades.SignExtend(m.mem[i], m.width)
+	}
 }
 
 // LoadContents replaces the memory contents from the given words.
