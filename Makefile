@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test quickstart race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
+.PHONY: build test quickstart simd smoke race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,20 @@ test:
 quickstart:
 	$(GO) run ./examples/quickstart
 
+# simd builds the simulation server; `make simd && ./bin/simd` serves
+# on :8047 (see docs/SERVER.md).
+simd:
+	mkdir -p bin
+	$(GO) build -o bin/simd ./cmd/simd
+
+# smoke drives a freshly built simd server over HTTP: verify + pooled
+# sweep via curl, /statsz shape, SIGTERM drain. Mirrors the CI smoke job.
+smoke:
+	sh scripts/simd_smoke.sh
+
 race:
-	$(GO) test -race ./internal/core/... ./internal/hades/...
+	$(GO) test -race ./internal/core/... ./internal/hades/... \
+		./internal/rtg/... ./internal/flow/... ./internal/simd/...
 
 # bench runs the pinned benchmark scenarios once per registered
 # simulator backend, writes BENCH_<name>.json files to
@@ -74,4 +86,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint test quickstart race cover bench
+ci: build vet fmt-check lint test quickstart smoke race cover bench

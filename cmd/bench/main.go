@@ -125,7 +125,7 @@ func run() error {
 		if *update {
 			dir = *baseline
 		}
-		path, err := res.Save(dir)
+		path, err := bench.Save(res, dir)
 		if err != nil {
 			return err
 		}

@@ -109,31 +109,14 @@ func (s *WorkloadSpec) String() string {
 	return s.Name + "," + s.Values.String()
 }
 
-// Set parses one name[,param=value...] spec.
+// Set parses one name[,param=value...] spec (the syntax lives in
+// workloads.ParseSpec, shared with the simd server's request decoding).
 func (s *WorkloadSpec) Set(arg string) error {
-	parts := strings.Split(arg, ",")
-	if parts[0] == "" {
-		return fmt.Errorf("empty workload name in %q", arg)
+	name, vals, err := workloads.ParseSpec(arg)
+	if err != nil {
+		return err
 	}
-	if strings.Contains(parts[0], "=") {
-		return fmt.Errorf("workload name must come before parameters in %q", arg)
-	}
-	vals := workloads.Values{}
-	for _, part := range parts[1:] {
-		if part == "" {
-			continue
-		}
-		name, val, err := splitKV(part)
-		if err != nil {
-			return err
-		}
-		v, err := strconv.Atoi(val)
-		if err != nil {
-			return fmt.Errorf("bad value in %q: %v", part, err)
-		}
-		vals[name] = v
-	}
-	s.Name = parts[0]
+	s.Name = name
 	s.Values = vals
 	return nil
 }

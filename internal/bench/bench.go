@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/api"
 )
 
 // Measure is what one timed execution of a scenario observed. Wall is
@@ -49,27 +51,12 @@ type Scenario struct {
 }
 
 // Result is the machine-readable outcome of one scenario, serialised as
-// BENCH_<name>.json.
-type Result struct {
-	Name           string  `json:"name"`
-	Desc           string  `json:"desc,omitempty"`
-	Pinned         bool    `json:"pinned"`
-	Backend        string  `json:"backend,omitempty"`
-	Reps           int     `json:"reps"`
-	Events         uint64  `json:"events"`
-	Cycles         uint64  `json:"cycles,omitempty"`
-	Configs        uint64  `json:"configs,omitempty"`
-	WallNS         int64   `json:"wall_ns"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	ConfigsPerSec  float64 `json:"configs_per_sec,omitempty"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	AllocsPerCfg   float64 `json:"allocs_per_config,omitempty"`
-	UnixTime       int64   `json:"unix_time"`
-	GoVersion      string  `json:"go_version"`
-	GOOS           string  `json:"goos"`
-	GOARCH         string  `json:"goarch"`
-	CPUs           int     `json:"cpus"`
-}
+// BENCH_<name>.json. It is the shared versioned wire type
+// (api.BenchResult): the bench files, `bench -json` output, the suite
+// JSONL and the simd server all speak internal/api. Results written
+// before the schema_version field existed (the checked-in baselines)
+// load with SchemaVersion 0, which is read as version 1.
+type Result = api.BenchResult
 
 // Run prepares the scenario once and times reps executions, reporting
 // the best observation (best-of-N is the stable estimator for
@@ -84,16 +71,17 @@ func Run(sc Scenario, reps int) (*Result, error) {
 		return nil, fmt.Errorf("bench: %s: prepare: %w", sc.Name, err)
 	}
 	res := &Result{
-		Name:      sc.Name,
-		Desc:      sc.Desc,
-		Pinned:    sc.Pinned,
-		Backend:   sc.Backend,
-		Reps:      reps,
-		UnixTime:  time.Now().Unix(),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		SchemaVersion: api.SchemaVersion,
+		Name:          sc.Name,
+		Desc:          sc.Desc,
+		Pinned:        sc.Pinned,
+		Backend:       sc.Backend,
+		Reps:          reps,
+		UnixTime:      time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
 	}
 	var totalAllocs, totalEvents, totalConfigs uint64
 	best := -1.0
@@ -142,8 +130,10 @@ func FileName(name string) string {
 	return "BENCH_" + clean + ".json"
 }
 
-// Save writes the result as BENCH_<name>.json under dir.
-func (r *Result) Save(dir string) (string, error) {
+// Save writes the result as BENCH_<name>.json under dir. (Result is an
+// alias of the shared wire type api.BenchResult, so this is a package
+// function rather than a method.)
+func Save(r *Result, dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
@@ -173,6 +163,9 @@ func Load(dir string) (map[string]*Result, error) {
 		}
 		if r.Name == "" {
 			return nil, fmt.Errorf("bench: %s: missing scenario name", path)
+		}
+		if err := api.CheckVersion(r.SchemaVersion); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", path, err)
 		}
 		out[r.Name] = &r
 	}

@@ -56,7 +56,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path, err := res.Save(dir)
+	path, err := Save(res, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

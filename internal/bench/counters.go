@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is a live, concurrency-safe view of simulation throughput:
+// the same metrics the offline BENCH_*.json files record (events/sec,
+// configs/sec, allocs/config), maintained incrementally so a
+// long-running consumer — the simd server's /statsz endpoint — can
+// report them at any instant without stopping the workload. All methods
+// are safe for concurrent use.
+type Counters struct {
+	start        time.Time
+	startMallocs uint64
+
+	events  atomic.Uint64
+	configs atomic.Uint64
+	rounds  atomic.Uint64
+}
+
+// NewCounters starts a counter set; rates are measured from this call.
+func NewCounters() *Counters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Counters{start: time.Now(), startMallocs: ms.Mallocs}
+}
+
+// ObserveRound records one completed simulation round: its kernel
+// events and the configurations it executed.
+func (c *Counters) ObserveRound(events, configs uint64) {
+	c.events.Add(events)
+	c.configs.Add(configs)
+	c.rounds.Add(1)
+}
+
+// CounterSnapshot is one instant's view of a Counters set.
+type CounterSnapshot struct {
+	Uptime          time.Duration
+	Events          uint64
+	Configs         uint64
+	Rounds          uint64
+	EventsPerSec    float64 // events / uptime
+	ConfigsPerSec   float64 // configs / uptime
+	AllocsPerConfig float64 // process-wide mallocs since start / configs
+}
+
+// Snapshot reads the counters. The allocation figure is process-wide
+// (runtime mallocs since NewCounters divided by executed configs), so
+// it is an upper bound on the simulation's own allocation rate — the
+// live analog of the bench harness's allocs/config column.
+func (c *Counters) Snapshot() CounterSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := CounterSnapshot{
+		Uptime:  time.Since(c.start),
+		Events:  c.events.Load(),
+		Configs: c.configs.Load(),
+		Rounds:  c.rounds.Load(),
+	}
+	if secs := s.Uptime.Seconds(); secs > 0 {
+		s.EventsPerSec = float64(s.Events) / secs
+		s.ConfigsPerSec = float64(s.Configs) / secs
+	}
+	if s.Configs > 0 {
+		s.AllocsPerConfig = float64(ms.Mallocs-c.startMallocs) / float64(s.Configs)
+	}
+	return s
+}

@@ -4,113 +4,85 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+
+	"repro/internal/api"
 )
 
-// caseRecord is the machine-readable view of one CaseResult, emitted as
-// one JSON object per line so CI can stream, grep, and archive it.
-type caseRecord struct {
-	Suite      string            `json:"suite"`
-	Name       string            `json:"name"`
-	Passed     bool              `json:"passed"`
-	Skipped    bool              `json:"skipped,omitempty"`
-	Replays    int               `json:"replays,omitempty"`
-	Error      string            `json:"error,omitempty"`
-	WallNS     int64             `json:"wall_ns"`
-	SimWallNS  int64             `json:"sim_wall_ns"`
-	RefWallNS  int64             `json:"ref_wall_ns"`
-	SourceLoC  int               `json:"source_loc"`
-	TotalOps   int               `json:"total_ops"`
-	Events     uint64            `json:"events"`
-	RefSteps   uint64            `json:"ref_steps"`
-	Mismatches map[string]int    `json:"mismatches,omitempty"`
-	Partitions []partitionRecord `json:"partitions,omitempty"`
+// CaseRecord renders one case result as the shared versioned wire type
+// (internal/api) — the same schema the bench harness and the simd
+// server emit.
+func (s *SuiteResult) CaseRecord(r *CaseResult) api.CaseRecord {
+	rec := api.CaseRecord{
+		SchemaVersion: api.SchemaVersion,
+		Suite:         s.Name,
+		Name:          r.Name,
+		Passed:        r.OK(),
+		Skipped:       r.Skipped,
+		Replays:       r.Replays,
+		WallNS:        r.Wall.Nanoseconds(),
+		SimWallNS:     r.SimWall.Nanoseconds(),
+		RefWallNS:     r.RefWall.Nanoseconds(),
+		SourceLoC:     r.SourceLoC,
+		TotalOps:      r.TotalOps,
+		Events:        r.Events(),
+		RefSteps:      r.RefSteps,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+	}
+	for name, ms := range r.Mismatches {
+		if len(ms) > 0 {
+			if rec.Mismatches == nil {
+				rec.Mismatches = map[string]int{}
+			}
+			rec.Mismatches[name] = len(ms)
+		}
+	}
+	for _, p := range r.Partitions {
+		rec.Partitions = append(rec.Partitions, api.PartitionRecord{
+			ID:        p.ID,
+			Operators: p.Operators,
+			States:    p.States,
+			Cycles:    p.Cycles,
+			Events:    p.SimulatedEvents,
+			SimWallNS: p.SimWall.Nanoseconds(),
+		})
+	}
+	sort.Slice(rec.Partitions, func(i, j int) bool { return rec.Partitions[i].ID < rec.Partitions[j].ID })
+	return rec
 }
 
-type partitionRecord struct {
-	ID        string `json:"id"`
-	Operators int    `json:"operators"`
-	States    int    `json:"states"`
-	Cycles    uint64 `json:"cycles"`
-	Events    uint64 `json:"events"`
-	SimWallNS int64  `json:"sim_wall_ns"`
-}
-
-// suiteRecord is the trailing summary object of a JSON suite report.
-type suiteRecord struct {
-	Suite        string  `json:"suite"`
-	Cases        int     `json:"cases"`
-	Passed       int     `json:"passed"`
-	Failed       int     `json:"failed"`
-	Skipped      int     `json:"skipped"`
-	Workers      int     `json:"workers"`
-	WallNS       int64   `json:"wall_ns"`
-	MaxCaseNS    int64   `json:"max_case_wall_ns"`
-	TotalEvents  uint64  `json:"total_events"`
-	SimWallNS    int64   `json:"sim_wall_ns"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Speedup      float64 `json:"speedup"`
-	OK           bool    `json:"ok"`
+// SuiteRecord renders the suite summary as the shared versioned wire
+// type (internal/api).
+func (s *SuiteResult) SuiteRecord() api.SuiteRecord {
+	passed, failed := s.Counts()
+	return api.SuiteRecord{
+		SchemaVersion: api.SchemaVersion,
+		Suite:         s.Name,
+		Cases:         len(s.Results),
+		Passed:        passed,
+		Failed:        failed,
+		Skipped:       s.Skipped(),
+		Workers:       s.Workers,
+		WallNS:        s.Wall.Nanoseconds(),
+		MaxCaseNS:     s.MaxCaseWall.Nanoseconds(),
+		TotalEvents:   s.TotalEvents,
+		SimWallNS:     s.TotalSimWall.Nanoseconds(),
+		EventsPerSec:  s.EventsPerSec,
+		Speedup:       s.Speedup,
+		OK:            s.Passed(),
+	}
 }
 
 // WriteJSON emits one JSON object per case in case order, followed by a
-// suite summary object, one object per line (JSON Lines).
+// suite summary object, one object per line (JSON Lines). The objects
+// are the versioned internal/api wire types.
 func (s *SuiteResult) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, r := range s.Results {
-		rec := caseRecord{
-			Suite:     s.Name,
-			Name:      r.Name,
-			Passed:    r.OK(),
-			Skipped:   r.Skipped,
-			Replays:   r.Replays,
-			WallNS:    r.Wall.Nanoseconds(),
-			SimWallNS: r.SimWall.Nanoseconds(),
-			RefWallNS: r.RefWall.Nanoseconds(),
-			SourceLoC: r.SourceLoC,
-			TotalOps:  r.TotalOps,
-			Events:    r.Events(),
-			RefSteps:  r.RefSteps,
-		}
-		if r.Err != nil {
-			rec.Error = r.Err.Error()
-		}
-		for name, ms := range r.Mismatches {
-			if len(ms) > 0 {
-				if rec.Mismatches == nil {
-					rec.Mismatches = map[string]int{}
-				}
-				rec.Mismatches[name] = len(ms)
-			}
-		}
-		for _, p := range r.Partitions {
-			rec.Partitions = append(rec.Partitions, partitionRecord{
-				ID:        p.ID,
-				Operators: p.Operators,
-				States:    p.States,
-				Cycles:    p.Cycles,
-				Events:    p.SimulatedEvents,
-				SimWallNS: p.SimWall.Nanoseconds(),
-			})
-		}
-		sort.Slice(rec.Partitions, func(i, j int) bool { return rec.Partitions[i].ID < rec.Partitions[j].ID })
-		if err := enc.Encode(rec); err != nil {
+		if err := enc.Encode(s.CaseRecord(r)); err != nil {
 			return err
 		}
 	}
-	passed, failed := s.Counts()
-	return enc.Encode(suiteRecord{
-		Suite:        s.Name,
-		Cases:        len(s.Results),
-		Passed:       passed,
-		Failed:       failed,
-		Skipped:      s.Skipped(),
-		Workers:      s.Workers,
-		WallNS:       s.Wall.Nanoseconds(),
-		MaxCaseNS:    s.MaxCaseWall.Nanoseconds(),
-		TotalEvents:  s.TotalEvents,
-		SimWallNS:    s.TotalSimWall.Nanoseconds(),
-		EventsPerSec: s.EventsPerSec,
-		Speedup:      s.Speedup,
-		OK:           s.Passed(),
-	})
+	return enc.Encode(s.SuiteRecord())
 }

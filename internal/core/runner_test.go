@@ -3,12 +3,15 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/workloads"
 )
 
@@ -283,5 +286,45 @@ func TestSuiteWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], `"events_per_sec"`) || !strings.Contains(lines[2], `"sim_wall_ns"`) {
 		t.Errorf("summary missing kernel throughput stats: %s", lines[2])
+	}
+}
+
+// TestSuiteJSONDecodesIntoAPITypes is the suite half of the shared-
+// schema acceptance criterion: every JSONL line the suite emits decodes
+// losslessly into the versioned internal/api wire types.
+func TestSuiteJSONDecodesIntoAPITypes(t *testing.T) {
+	suite := &Suite{Name: "apiround", Cases: []TestCase{hammingCase("h8", 8)}}
+	res := (&Runner{Workers: 1, Repeat: 2}).Run(context.Background(), suite, Options{})
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	var rec api.CaseRecord
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.CheckVersion(rec.SchemaVersion); err != nil {
+		t.Fatal(err)
+	}
+	if rec.SchemaVersion != api.SchemaVersion {
+		t.Fatalf("case record schema_version = %d, want %d", rec.SchemaVersion, api.SchemaVersion)
+	}
+	want := res.CaseRecord(res.Results[0])
+	if !reflect.DeepEqual(rec, want) {
+		t.Fatalf("case record round trip: got %+v, want %+v", rec, want)
+	}
+	if rec.Replays != 2 || !rec.Passed || rec.Events == 0 {
+		t.Fatalf("unexpected case record: %+v", rec)
+	}
+	var sum api.SuiteRecord
+	if err := dec.Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, res.SuiteRecord()) {
+		t.Fatalf("suite record round trip: got %+v, want %+v", sum, res.SuiteRecord())
+	}
+	if sum.SchemaVersion != api.SchemaVersion || !sum.OK || sum.Cases != 1 {
+		t.Fatalf("unexpected suite record: %+v", sum)
 	}
 }

@@ -1,7 +1,9 @@
 package flow
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/xmlspec"
 )
@@ -16,16 +18,24 @@ import (
 // verify sweeps, iterative RodFIter/erasure-style loops — pay for
 // elaboration once instead of once per run.
 //
-// A PreparedDesign is not safe for concurrent use: it owns live
-// simulators. Prepare one per goroutine (the suite runner prepares per
-// case, which keeps cases independent).
+// A PreparedDesign owns live simulators, so rounds are inherently
+// serial — but the design is safe for concurrent use: Run, Simulate,
+// SetSeed and their context variants serialize on an internal mutex, so
+// each reseed-simulate round is atomic with respect to other
+// goroutines. Concurrent callers share one cache and take turns; for
+// parallel rounds, prepare one design per goroutine (the suite runner
+// prepares per case), or pool sessions (see Session).
 type PreparedDesign struct {
 	p        *Pipeline
 	name     string
 	compiled *Compiled // nil when prepared from a loaded design
 	elab     *Elaborated
-	seeds    map[string][]int64
-	runs     int
+
+	// mu makes each reseed-and-simulate round atomic; it also guards
+	// seeds and runs.
+	mu    sync.Mutex
+	seeds map[string][]int64
+	runs  int
 }
 
 // Prepare compiles and elaborates one source, capturing its input
@@ -49,6 +59,29 @@ func (p *Pipeline) Prepare(src Source) (*PreparedDesign, error) {
 	return d, nil
 }
 
+// PrepareContext is Prepare under a per-call cancellation context: the
+// compile and elaborate stages honor ctx, but the returned design does
+// NOT keep it — later rounds poll the pipeline's configured context (or
+// a RunContext/SimulateContext per-round one), so a session prepared
+// under a request deadline outlives that request. A nil ctx is plain
+// Prepare.
+func (p *Pipeline) PrepareContext(ctx context.Context, src Source) (*PreparedDesign, error) {
+	if ctx == nil {
+		return p.Prepare(src)
+	}
+	pc := *p
+	pc.cfg.Context = ctx
+	d, err := pc.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	// Detach the prepare-time context: the controller captured ctx at
+	// elaboration, and it must not cancel future rounds.
+	d.p = p
+	d.elab.Controller.SetContext(p.cfg.Context)
+	return d, nil
+}
+
 // PrepareDesign builds a reusable prepared design from an
 // already-compiled design (e.g. an rtg.xml bundle loaded from disk).
 // Seeds start empty — every shared memory zero-fills on each Run —
@@ -59,6 +92,23 @@ func (p *Pipeline) PrepareDesign(design *xmlspec.Design) (*PreparedDesign, error
 		return nil, err
 	}
 	return &PreparedDesign{p: p, name: e.Name, elab: e, seeds: map[string][]int64{}}, nil
+}
+
+// PrepareDesignContext is PrepareDesign under a per-call cancellation
+// context, with the same detachment semantics as PrepareContext.
+func (p *Pipeline) PrepareDesignContext(ctx context.Context, design *xmlspec.Design) (*PreparedDesign, error) {
+	if ctx == nil {
+		return p.PrepareDesign(design)
+	}
+	pc := *p
+	pc.cfg.Context = ctx
+	d, err := pc.PrepareDesign(design)
+	if err != nil {
+		return nil, err
+	}
+	d.p = p
+	d.elab.Controller.SetContext(p.cfg.Context)
+	return d, nil
 }
 
 // Name returns the prepared case or design name.
@@ -72,14 +122,20 @@ func (d *PreparedDesign) Compiled() *Compiled { return d.compiled }
 func (d *PreparedDesign) Elaborated() *Elaborated { return d.elab }
 
 // Runs reports how many simulation rounds this design has served.
-func (d *PreparedDesign) Runs() int { return d.runs }
+func (d *PreparedDesign) Runs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.runs
+}
 
 // SetSeed replaces the contents a shared memory is reseeded with at the
 // start of every Run. The words are copied. Unknown memories error.
 func (d *PreparedDesign) SetSeed(name string, words []int64) error {
 	for _, id := range d.elab.MemoryIDs() {
 		if id == name {
+			d.mu.Lock()
 			d.seeds[name] = append([]int64(nil), words...)
+			d.mu.Unlock()
 			return nil
 		}
 	}
@@ -88,15 +144,24 @@ func (d *PreparedDesign) SetSeed(name string, words []int64) error {
 
 // Simulate reseeds every shared memory (seed image, or zeros when none
 // was provided) and walks the RTG once, streaming to the pipeline's
-// observers exactly like Pipeline.Simulate.
+// observers exactly like Pipeline.Simulate. The round — reseed plus
+// walk — is atomic with respect to concurrent rounds.
 func (d *PreparedDesign) Simulate() (*SimResult, error) {
+	return d.SimulateContext(nil)
+}
+
+// SimulateContext is Simulate under a per-round cancellation context
+// (nil falls back to the pipeline's configured context).
+func (d *PreparedDesign) SimulateContext(ctx context.Context) (*SimResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for _, id := range d.elab.MemoryIDs() {
 		if err := d.elab.LoadMemory(id, d.seeds[id]); err != nil {
 			return nil, err
 		}
 	}
 	d.runs++
-	return d.p.Simulate(d.elab)
+	return d.p.simulateCtx(d.elab, ctx)
 }
 
 // Run is one full verification round on the prepared design: reseed,
@@ -105,7 +170,16 @@ func (d *PreparedDesign) Simulate() (*SimResult, error) {
 // Verdict is nil when no verification ran (loaded design or exhausted
 // cycle cap), mirroring Pipeline.Run.
 func (d *PreparedDesign) Run() (*Outcome, error) {
-	s, err := d.Simulate()
+	return d.RunContext(nil)
+}
+
+// RunContext is Run under a per-round cancellation context. The
+// simulate round is serialized with concurrent rounds; the verify stage
+// runs outside the round lock (it touches only this round's results),
+// so one goroutine's verification overlaps the next goroutine's
+// simulation.
+func (d *PreparedDesign) RunContext(ctx context.Context) (*Outcome, error) {
+	s, err := d.SimulateContext(ctx)
 	if err != nil {
 		return nil, err
 	}

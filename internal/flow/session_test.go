@@ -1,0 +1,239 @@
+package flow_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestSessionConcurrentRounds is the pooled-session concurrency
+// contract as a test: ONE prepared session — one replay cache — driven
+// from 8 goroutines, 4 rounds each. Every round must verify green
+// (rounds are atomic: no goroutine ever simulates on another's
+// half-written seeds), and the session's lifetime counters must show
+// the cache carried every round (Elaborations stays at the
+// configuration count while Resets climbs to rounds-1). Run with -race
+// in CI.
+func TestSessionConcurrentRounds(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 4
+	)
+	p, err := flow.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Prepare(scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := flow.PoolKey{Workload: "scale", Params: "n=8", Backend: "twolevel"}
+	sess := flow.NewSession(key, d, goroutines)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				out, err := sess.RunContext(context.Background())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !out.OK() {
+					errs <- errors.New("round did not verify")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := sess.Runs(); got != goroutines*rounds {
+		t.Errorf("Runs()=%d want %d", got, goroutines*rounds)
+	}
+	st := sess.Stats()
+	if st.Key != "scale(n=8)@twolevel" {
+		t.Errorf("Stats().Key=%q", st.Key)
+	}
+	// scaleSource compiles to one configuration: one elaboration total,
+	// and every later round a reset-and-replay.
+	if st.Elaborations != 1 {
+		t.Errorf("Elaborations=%d under concurrency; the replay cache should have carried the rounds", st.Elaborations)
+	}
+	if want := uint64(goroutines*rounds - 1); st.Resets != want {
+		t.Errorf("Resets=%d want %d", st.Resets, want)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight=%d after drain", st.InFlight)
+	}
+}
+
+// TestSessionTryRunShedsWhenFull pins the fail-fast admission path: a
+// session with one slot, held by a blocked round, must answer TryRun
+// with ErrSessionBusy immediately — the signal the server turns into
+// HTTP 429 — and serve again once the slot frees.
+func TestSessionTryRunShedsWhenFull(t *testing.T) {
+	p, err := flow.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Prepare(scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := flow.NewSession(flow.PoolKey{Workload: "scale"}, d, 1)
+
+	// Hold the only slot open with a round blocked on a canceled-later
+	// context; the round itself runs quickly, so instead gate on an
+	// acquired-slot signal: run a goroutine that holds the slot by
+	// looping rounds until released.
+	stop := make(chan struct{})
+	holding := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sess.RunContext(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			once.Do(func() { close(holding) })
+		}
+	}()
+	<-holding
+
+	// With one goroutine hammering the single slot, TryRun must shed at
+	// least once (the slot is held for the whole reseed+walk+verify).
+	shed := false
+	for i := 0; i < 200 && !shed; i++ {
+		_, err := sess.TryRunContext(context.Background())
+		if errors.Is(err, flow.ErrSessionBusy) {
+			shed = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !shed {
+		t.Fatal("TryRun never shed against a saturated single-slot session")
+	}
+
+	// Slot free again: TryRun serves.
+	out, err := sess.TryRunContext(context.Background())
+	if err != nil || !out.OK() {
+		t.Fatalf("after drain: %v %+v", err, out)
+	}
+}
+
+// TestSessionRunContextHonorsCancel: a canceled context refuses the
+// round whether it is waiting for a slot or already holding one.
+func TestSessionRunContextHonorsCancel(t *testing.T) {
+	p, err := flow.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Prepare(scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := flow.NewSession(flow.PoolKey{Workload: "scale"}, d, 1)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.RunContext(canceled); err == nil {
+		t.Fatal("canceled context must refuse the round")
+	}
+	// The failed round must not leak its slot or count as a run.
+	if sess.InFlight() != 0 {
+		t.Fatalf("InFlight()=%d after canceled round", sess.InFlight())
+	}
+	var served atomic.Int64
+	out, err := sess.RunContext(context.Background())
+	if err != nil || !out.OK() {
+		t.Fatalf("session unusable after canceled round: %v %+v", err, out)
+	}
+	served.Add(1)
+	if sess.Runs() != int(served.Load()) {
+		t.Fatalf("Runs()=%d want %d (canceled rounds must not count)", sess.Runs(), served.Load())
+	}
+}
+
+// TestSessionSimulateSkipsVerify: the bench shape — Outcome carries the
+// sim result but never a verdict.
+func TestSessionSimulateSkipsVerify(t *testing.T) {
+	p, err := flow.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Prepare(scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := flow.NewSession(flow.PoolKey{Workload: "scale"}, d, 2)
+	out, err := sess.SimulateContext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != nil {
+		t.Fatal("SimulateContext must not verify")
+	}
+	if !out.Sim.Completed || out.Sim.Events == 0 {
+		t.Fatalf("sim result: %+v", out.Sim)
+	}
+	if _, err := sess.TrySimulateContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareContextDetachesFromRequestContext pins the session
+// lifecycle seam: a design prepared under a request-scoped context must
+// keep serving rounds after that request's context dies — and a dead
+// context at prepare time must fail the prepare.
+func TestPrepareContextDetachesFromRequestContext(t *testing.T) {
+	p, err := flow.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqCtx, cancel := context.WithCancel(context.Background())
+	d, err := p.PrepareContext(reqCtx, scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // the preparing request is gone; the session lives on
+	out, err := d.Run()
+	if err != nil {
+		t.Fatalf("run after prepare-context cancel: %v", err)
+	}
+	if !out.OK() {
+		t.Fatalf("not verified: %+v", out.Verdict)
+	}
+
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := p.PrepareContext(dead, scaleSource()); err == nil {
+		t.Fatal("prepare under a dead context must fail")
+	}
+
+	// Per-round contexts still bite on a detached design.
+	if _, err := d.RunContext(dead); err == nil {
+		t.Fatal("dead per-round context must refuse the round")
+	}
+}

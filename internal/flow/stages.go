@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -224,9 +225,20 @@ type SimResult struct {
 // configuration to the observers, and snapshots the shared memories.
 // An exhausted cycle cap is not an error: Completed reports it.
 func (p *Pipeline) Simulate(e *Elaborated) (*SimResult, error) {
+	return p.simulateCtx(e, nil)
+}
+
+// SimulateContext is Simulate under a per-run cancellation context,
+// overriding the pipeline's configured context for this walk only (the
+// session shape: one long-lived design, per-request deadlines).
+func (p *Pipeline) SimulateContext(ctx context.Context, e *Elaborated) (*SimResult, error) {
+	return p.simulateCtx(e, ctx)
+}
+
+func (p *Pipeline) simulateCtx(e *Elaborated, ctx context.Context) (*SimResult, error) {
 	out := &SimResult{Memories: map[string][]int64{}, Artifacts: map[string]string{}}
 	err := p.observeStage(StageSimulate, e.Name, func() error {
-		exec, err := e.Controller.Execute()
+		exec, err := e.Controller.ExecuteContext(ctx)
 		if err != nil {
 			return err
 		}

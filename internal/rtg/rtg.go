@@ -13,11 +13,26 @@
 // it, which is trace-identical to a fresh build
 // (TestReplayMatchesFreshElaboration) at a fraction of the cost.
 // Options.DisableReplay restores the elaborate-every-visit behavior.
+//
+// # Concurrency
+//
+// A Controller owns live simulators (the replay cache) and a mutable
+// shared-memory store, so its walks are inherently serial — but the
+// controller itself is safe for concurrent use: Execute, ExecuteContext,
+// LoadMemory, Memory and SetContext all serialize on an internal mutex,
+// so N goroutines hammering one controller interleave whole operations
+// instead of racing (TestConcurrentExecuteIsSerializedAndRaceFree).
+// Callers that need a reseed and a walk to be atomic with respect to
+// other goroutines (a verification round) must add that atomicity one
+// level up — flow.PreparedDesign and flow.Session do. For parallel
+// walks, build one controller per goroutine: the elaboration caches are
+// fully independent.
 package rtg
 
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/hades"
@@ -113,7 +128,14 @@ type ExecResult struct {
 type Controller struct {
 	design *xmlspec.Design
 	opts   Options
-	store  map[string][]int64
+	// mu serializes every operation that touches the store, the replay
+	// cache, or the options: walks are serial by construction (the cache
+	// holds live simulators), and the mutex makes concurrent misuse
+	// safe instead of racy. Never held across calls out to user code
+	// other than the Observer/AfterConfig hooks — those must not call
+	// back into the controller.
+	mu    sync.Mutex
+	store map[string][]int64
 	// cache holds one live elaboration per configuration id — the
 	// controller's kernel factory and registry are fixed, so within a
 	// controller the configuration id alone keys (configuration,
@@ -147,10 +169,26 @@ func NewController(design *xmlspec.Design, opts Options) (*Controller, error) {
 
 // Options returns the effective (defaulted) options the controller
 // runs with; the flow defaults test observes them here.
-func (c *Controller) Options() Options { return c.opts }
+func (c *Controller) Options() Options {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts
+}
+
+// SetContext replaces the controller's default cancellation context —
+// the one Execute polls when no per-walk context is given. Prepare-time
+// contexts must not outlive the preparation (flow.PrepareContext
+// restores the pipeline context here once elaboration is done).
+func (c *Controller) SetContext(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opts.Context = ctx
+}
 
 // LoadMemory seeds a shared memory's contents before execution.
 func (c *Controller) LoadMemory(id string, words []int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	buf, ok := c.store[id]
 	if !ok {
 		return fmt.Errorf("rtg: unknown shared memory %q", id)
@@ -167,6 +205,8 @@ func (c *Controller) LoadMemory(id string, words []int64) error {
 
 // Memory returns a copy of a shared memory's current contents.
 func (c *Controller) Memory(id string) ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	buf, ok := c.store[id]
 	if !ok {
 		return nil, fmt.Errorf("rtg: unknown shared memory %q", id)
@@ -190,8 +230,23 @@ func (c *Controller) MemoryIDs() []string {
 // cache after), seeded with the shared store, run until its FSM
 // completes, and its shared memory contents written back to the store.
 // Execute may be called repeatedly; reseed inputs with LoadMemory
-// between runs.
+// between runs. It polls the controller's configured context; use
+// ExecuteContext for a per-walk one.
 func (c *Controller) Execute() (*ExecResult, error) {
+	return c.ExecuteContext(nil)
+}
+
+// ExecuteContext is Execute under a per-walk cancellation context: when
+// ctx is non-nil it overrides the controller's configured context for
+// this walk only — the session shape, where one long-lived controller
+// serves requests that each carry their own deadline. A nil ctx falls
+// back to the configured context.
+func (c *Controller) ExecuteContext(ctx context.Context) (*ExecResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctx == nil {
+		ctx = c.opts.Context
+	}
 	res := &ExecResult{Completed: true}
 	cur := c.design.RTG.Start
 	for steps := 0; cur != ""; steps++ {
@@ -203,11 +258,11 @@ func (c *Controller) Execute() (*ExecResult, error) {
 		if !ok {
 			return res, fmt.Errorf("rtg: unknown configuration %q", cur)
 		}
-		if ctx := c.opts.Context; ctx != nil && ctx.Err() != nil {
+		if ctx != nil && ctx.Err() != nil {
 			return res, fmt.Errorf("rtg: %s: canceled before configuration %q: %w",
 				c.design.RTG.Name, cur, ctx.Err())
 		}
-		run, err := c.runConfiguration(cfg)
+		run, err := c.runConfiguration(cfg, ctx)
 		if err != nil {
 			return res, err
 		}
@@ -243,7 +298,7 @@ func (c *Controller) seedCopy(cfgID, opID string, words []int64) []int64 {
 	return buf
 }
 
-func (c *Controller) runConfiguration(cfg *xmlspec.Configuration) (*ConfigRun, error) {
+func (c *Controller) runConfiguration(cfg *xmlspec.Configuration, ctx context.Context) (*ConfigRun, error) {
 	dp := c.design.Datapaths[cfg.Datapath]
 	fsm := c.design.FSMs[cfg.FSM]
 
@@ -286,8 +341,12 @@ func (c *Controller) runConfiguration(cfg *xmlspec.Configuration) (*ConfigRun, e
 		}
 	}
 	sim := el.Sim
-	if ctx := c.opts.Context; ctx != nil {
+	// Install (or clear) the interrupt hook for this walk's context: a
+	// cached simulator may carry a hook from an earlier walk's context.
+	if ctx != nil {
 		sim.Interrupt = func() bool { return ctx.Err() != nil }
+	} else {
+		sim.Interrupt = nil
 	}
 	if c.opts.Observer != nil {
 		c.opts.Observer(cfg.ID, el)

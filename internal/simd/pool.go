@@ -1,0 +1,112 @@
+package simd
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/flow"
+)
+
+// poolEntry is one pool slot. Entries are created under the pool lock
+// but prepared outside it (compile + elaborate can take a while):
+// concurrent requests for the same key find the entry and wait on ready
+// instead of preparing duplicates — single-flight preparation.
+type poolEntry struct {
+	key   flow.PoolKey
+	ready chan struct{} // closed once sess/err are set
+	sess  *flow.Session
+	err   error
+}
+
+// sessionPool is an LRU map of prepared sessions keyed by the resolved
+// (workload, params, backend) triple. Eviction only unlinks the entry —
+// requests already running on an evicted session hold the *flow.Session
+// pointer and finish normally; the next request for that key prepares a
+// fresh session (and starts fresh replay counters).
+type sessionPool struct {
+	mu    sync.Mutex
+	max   int
+	lru   *list.List // front = most recently used; values are *poolEntry
+	items map[flow.PoolKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+func newSessionPool(max int) *sessionPool {
+	if max < 1 {
+		max = 1
+	}
+	return &sessionPool{max: max, lru: list.New(), items: map[flow.PoolKey]*list.Element{}}
+}
+
+// get returns the entry for key, creating one when absent. owner
+// reports preparation duty: true means the caller must prepare the
+// session and publish it (exactly one caller per entry); false means
+// the caller waits on entry.ready.
+func (p *sessionPool) get(key flow.PoolKey) (e *poolEntry, owner bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.items[key]; ok {
+		p.lru.MoveToFront(el)
+		p.hits++
+		return el.Value.(*poolEntry), false
+	}
+	p.misses++
+	e = &poolEntry{key: key, ready: make(chan struct{})}
+	p.items[key] = p.lru.PushFront(e)
+	for p.lru.Len() > p.max {
+		back := p.lru.Back()
+		evicted := back.Value.(*poolEntry)
+		p.lru.Remove(back)
+		delete(p.items, evicted.key)
+		p.evictions++
+	}
+	return e, true
+}
+
+// publish installs the prepared session (or the preparation error) and
+// wakes every waiter. Failed preparations leave the pool immediately so
+// the next request for the key retries instead of replaying the error.
+func (p *sessionPool) publish(e *poolEntry, sess *flow.Session, err error) {
+	e.sess, e.err = sess, err
+	close(e.ready)
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if el, ok := p.items[e.key]; ok && el.Value.(*poolEntry) == e {
+		p.lru.Remove(el)
+		delete(p.items, e.key)
+	}
+	p.mu.Unlock()
+}
+
+// sessions snapshots every prepared session, most recently used first.
+func (p *sessionPool) sessions() []*flow.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*flow.Session, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*poolEntry)
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, e.sess)
+			}
+		default: // still preparing
+		}
+	}
+	return out
+}
+
+func (p *sessionPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+func (p *sessionPool) counters() (hits, misses, evictions int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}

@@ -1,0 +1,38 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the inline workload spec syntax shared by the CLI
+// -workload flag and the simd server's request Workload field:
+// "name[,param=value...]", e.g. "fir,n=1024,taps=16". Parameters are
+// syntax-checked only — range validation against the family's schema
+// happens in Resolve, where the registry's self-describing errors live.
+func ParseSpec(arg string) (name string, v Values, err error) {
+	parts := strings.Split(arg, ",")
+	if parts[0] == "" {
+		return "", nil, fmt.Errorf("workloads: empty workload name in %q", arg)
+	}
+	if strings.Contains(parts[0], "=") {
+		return "", nil, fmt.Errorf("workloads: workload name must come before parameters in %q", arg)
+	}
+	v = Values{}
+	for _, part := range parts[1:] {
+		if part == "" {
+			continue
+		}
+		pname, pval, ok := strings.Cut(part, "=")
+		if !ok || pname == "" {
+			return "", nil, fmt.Errorf("workloads: expected param=value, got %q", part)
+		}
+		n, err := strconv.Atoi(pval)
+		if err != nil {
+			return "", nil, fmt.Errorf("workloads: bad value in %q: %v", part, err)
+		}
+		v[pname] = n
+	}
+	return parts[0], v, nil
+}

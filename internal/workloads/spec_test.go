@@ -1,0 +1,30 @@
+package workloads
+
+import "testing"
+
+func TestParseSpec(t *testing.T) {
+	name, v, err := ParseSpec("fir,n=1024,taps=16")
+	if err != nil || name != "fir" || v["n"] != 1024 || v["taps"] != 16 || len(v) != 2 {
+		t.Fatalf("got %q %v %v", name, v, err)
+	}
+	name, v, err = ParseSpec("hamming")
+	if err != nil || name != "hamming" || len(v) != 0 {
+		t.Fatalf("bare name: %q %v %v", name, v, err)
+	}
+	if _, _, err := ParseSpec(""); err == nil {
+		t.Fatal("empty spec must error")
+	}
+	if _, _, err := ParseSpec("n=4,fir"); err == nil {
+		t.Fatal("params before name must error")
+	}
+	if _, _, err := ParseSpec("fir,n=many"); err == nil {
+		t.Fatal("non-integer value must error")
+	}
+	if _, _, err := ParseSpec("fir,=4"); err == nil {
+		t.Fatal("empty param name must error")
+	}
+	// Trailing commas are tolerated, matching the historical flag parser.
+	if name, v, err := ParseSpec("fir,"); err != nil || name != "fir" || len(v) != 0 {
+		t.Fatalf("trailing comma: %q %v %v", name, v, err)
+	}
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env sh
+# Smoke-test the simd server end to end, the way CI does: build it,
+# serve on a local port, drive a verify and a pooled sweep with curl,
+# assert the NDJSON and /statsz shapes, then check SIGTERM drains to a
+# clean exit. Run via `make smoke`.
+set -eu
+
+PORT="${SIMD_PORT:-$((20000 + $$ % 20000))}"
+BASE="http://127.0.0.1:$PORT"
+WORKDIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+go build -o "$WORKDIR/simd" ./cmd/simd
+"$WORKDIR/simd" -addr "127.0.0.1:$PORT" -workers 4 -max-sessions 2 &
+SERVER_PID=$!
+
+ok=0
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+[ "$ok" = 1 ] || { echo "simd smoke: server never came up on $BASE" >&2; exit 1; }
+
+echo "== verify: NDJSON stream with config records and a passing summary =="
+VERIFY=$(curl -fsS "$BASE/v1/verify" -d '{"workload":"hamming","params":{"words":64}}')
+echo "$VERIFY"
+echo "$VERIFY" | grep -q '"record":"config"'
+echo "$VERIFY" | grep -q '"record":"summary"'
+echo "$VERIFY" | grep -q '"schema_version":1'
+echo "$VERIFY" | grep -q '"verified":true'
+echo "$VERIFY" | grep -q '"passed":true'
+
+echo "== sweep: pooled session, reset-and-replay rounds =="
+SWEEP=$(curl -fsS "$BASE/v1/sweep" -d '{"workload":"hamming","params":{"words":64},"rounds":4}')
+echo "$SWEEP" | tail -1
+echo "$SWEEP" | grep -q '"pool_hit":true'
+echo "$SWEEP" | grep -q '"rounds":4'
+echo "$SWEEP" | grep -q '"elaborations":'
+[ "$(echo "$SWEEP" | grep -c '"record":"config"')" -ge 4 ]
+
+echo "== statsz: pool and throughput counters =="
+STATS=$(curl -fsS "$BASE/statsz")
+echo "$STATS"
+echo "$STATS" | grep -q '"schema_version":1'
+echo "$STATS" | grep -q '"sessions":1'
+echo "$STATS" | grep -q '"pool_hits":1'
+echo "$STATS" | grep -q '"pool_misses":1'
+echo "$STATS" | grep -q '"sessions_detail"'
+
+echo "== SIGTERM drains to a clean exit =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "simd smoke: OK"
