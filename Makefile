@@ -39,7 +39,7 @@ race:
 # allocs/event rise versus that backend's checked-in baseline
 # (bench/baseline/<backend>/).
 bench:
-	for b in $$($(GO) run ./cmd/bench -list-backends); do \
+	for b in $$($(GO) run ./cmd/bench -list-backends | awk '{print $$1}'); do \
 		mkdir -p bench-out/$$b; \
 		$(GO) run ./cmd/bench -backend $$b -scenarios pinned -reps 3 \
 			-out bench-out/$$b -baseline bench/baseline/$$b -threshold 0.25 || exit 1; \
@@ -47,7 +47,7 @@ bench:
 
 # bench-update refreshes every backend's checked-in baseline on this machine.
 bench-update:
-	for b in $$($(GO) run ./cmd/bench -list-backends); do \
+	for b in $$($(GO) run ./cmd/bench -list-backends | awk '{print $$1}'); do \
 		$(GO) run ./cmd/bench -backend $$b -scenarios pinned -reps 3 \
 			-baseline bench/baseline/$$b -update-baseline || exit 1; \
 	done

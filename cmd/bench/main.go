@@ -55,10 +55,17 @@ func run() error {
 	flag.Parse()
 
 	if *listBackends {
-		for _, name := range flow.Backends() {
-			fmt.Println(name)
+		// First column stays the bare name: scripted consumers
+		// (`-list-backends | awk '{print $1}'`) enumerate backends from it.
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		for _, b := range flow.Backends() {
+			gang := "-"
+			if b.SupportsGang {
+				gang = "gang"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", b.Name, b.Kind, gang, b.Desc)
 		}
-		return nil
+		return tw.Flush()
 	}
 	if *listWorkloads {
 		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)

@@ -62,7 +62,7 @@ func run() error {
 	flag.Float64Var(&cfg.Rate, "rate", 0, "token-bucket admission rate in requests/sec (0 = unlimited)")
 	flag.IntVar(&cfg.Burst, "burst", 0, "token-bucket depth (0 = ceil(rate), min 1)")
 	flag.IntVar(&cfg.MaxRounds, "max-rounds", 0, "rounds cap per request (0 = 4096)")
-	flag.StringVar(&cfg.Backend, "backend", "", "default simulator backend: "+strings.Join(flow.Backends(), ", "))
+	flag.StringVar(&cfg.Backend, "backend", "", "default simulator backend: "+strings.Join(flow.BackendNames(), ", "))
 	flag.Parse()
 
 	if cfg.Backend != "" {

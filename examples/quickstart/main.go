@@ -34,11 +34,12 @@ func main() {
 	}
 
 	// Run the same flow on every registered simulator backend; the
-	// kernels are required to agree event for event.
+	// event kernels agree event for event, the compiled cycle engine
+	// clock edge for clock edge.
 	for _, backend := range repro.Backends() {
-		fmt.Printf("--- backend %s ---\n", backend)
+		fmt.Printf("--- backend %s (%s) ---\n", backend.Name, backend.Kind)
 		out, err := repro.Run(source,
-			repro.WithBackend(backend),
+			repro.WithBackend(backend.Name),
 			repro.WithObserver(repro.NewProgressObserver(os.Stdout)),
 		)
 		if err != nil {

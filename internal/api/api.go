@@ -240,6 +240,25 @@ type RunRecord struct {
 	WallNS int64  `json:"wall_ns,omitempty"`
 }
 
+// BackendInfo describes one registered simulator backend: the registry
+// descriptor served by GET /v1/backends and embedded in /statsz. Added
+// without a schema bump — the fields are additive and every earlier
+// field keeps its meaning.
+type BackendInfo struct {
+	Name         string `json:"name"`
+	Kind         string `json:"kind"` // "event" or "cycle"
+	Desc         string `json:"desc,omitempty"`
+	SupportsGang bool   `json:"supports_gang,omitempty"`
+}
+
+// BackendsResponse is the GET /v1/backends payload: the server's
+// default backend plus every registered descriptor, default first.
+type BackendsResponse struct {
+	SchemaVersion int           `json:"schema_version,omitempty"`
+	Default       string        `json:"default"`
+	Backends      []BackendInfo `json:"backends"`
+}
+
 // SessionStats is one pooled session's aggregate view in /statsz.
 type SessionStats struct {
 	Key          string `json:"key"` // "workload(params)@backend"
@@ -282,4 +301,9 @@ type ServerStats struct {
 	AllocsPerConfig float64 `json:"allocs_per_config"`
 
 	SessionsDetail []SessionStats `json:"sessions_detail,omitempty"`
+
+	// Backends lists the registered backend descriptors (additive,
+	// schema unchanged); Backend is the server's default.
+	Backend  string        `json:"backend,omitempty"`
+	Backends []BackendInfo `json:"backends,omitempty"`
 }

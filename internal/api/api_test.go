@@ -166,6 +166,11 @@ func TestServerStatsRoundTrip(t *testing.T) {
 		Elaborations: 3, Resets: 120, Events: 1 << 20, Configs: 123, Rounds: 40,
 		EventsPerSec: 2e5, ConfigsPerSec: 24.6, AllocsPerConfig: 27,
 		SessionsDetail: []SessionStats{{Key: "hamming(seed=1,words=8)@twolevel", Runs: 38, Elaborations: 1, Resets: 37}},
+		Backend:        "twolevel",
+		Backends: []BackendInfo{
+			{Name: "twolevel", Kind: "event", Desc: "two-level event queue"},
+			{Name: "compiled", Kind: "cycle", Desc: "levelized engine", SupportsGang: true},
+		},
 	}
 	doc, err := json.Marshal(in)
 	if err != nil {
@@ -177,5 +182,33 @@ func TestServerStatsRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("stats round trip: got %+v, want %+v", out, in)
+	}
+}
+
+// TestBackendsResponseRoundTrip pins the /v1/backends payload: an
+// additive schema-1 object whose descriptors survive the cycle intact.
+func TestBackendsResponseRoundTrip(t *testing.T) {
+	in := BackendsResponse{
+		SchemaVersion: SchemaVersion,
+		Default:       "twolevel",
+		Backends: []BackendInfo{
+			{Name: "twolevel", Kind: "event", Desc: "two-level event queue"},
+			{Name: "compiled", Kind: "cycle", Desc: "levelized engine", SupportsGang: true},
+			{Name: "heapref", Kind: "event", Desc: "seed binary-heap kernel"},
+		},
+	}
+	doc, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BackendsResponse
+	if err := json.Unmarshal(doc, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("backends round trip: got %+v, want %+v", out, in)
+	}
+	if err := CheckVersion(out.SchemaVersion); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -278,3 +278,43 @@ func TestReplayBeatsFreshReconfiguration(t *testing.T) {
 			replay.AllocsPerCfg, fresh.AllocsPerCfg)
 	}
 }
+
+// TestCompiledGangBeatsSequential is the gang acceptance check: on the
+// pinned gang scenarios, the compiled backend's lockstep
+// struct-of-arrays evaluation must deliver at least 5x the configs/sec
+// of the event backend's sequential lane-by-lane replay of the same
+// 32-lane population.
+func TestCompiledGangBeatsSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"gang-newton", "gang-erasure"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			perBackend := map[string]*Result{}
+			for _, backend := range []string{"compiled", "twolevel"} {
+				scs, err := Select(name, ScenariosFor(backend))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(scs[0], 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Configs == 0 || res.ConfigsPerSec <= 0 {
+					t.Fatalf("%s@%s: no configuration metrics: %+v", name, backend, res)
+				}
+				perBackend[backend] = res
+			}
+			lockstep, sequential := perBackend["compiled"], perBackend["twolevel"]
+			if lockstep.Configs != sequential.Configs {
+				t.Fatalf("gang population diverged: compiled ran %d configs, twolevel %d",
+					lockstep.Configs, sequential.Configs)
+			}
+			if ratio := lockstep.ConfigsPerSec / sequential.ConfigsPerSec; ratio < 5 {
+				t.Fatalf("compiled gang %.0f configs/sec vs sequential %.0f: %.2fx, want >= 5x",
+					lockstep.ConfigsPerSec, sequential.ConfigsPerSec, ratio)
+			}
+		})
+	}
+}

@@ -23,27 +23,38 @@ func Scenarios() []Scenario { return ScenariosFor(flow.DefaultBackend) }
 // is the CI regression set — gated once per registered backend against
 // that backend's own baseline; the rest are opt-in investigations
 // (larger images, monolithic-vs-partitioned contrast).
+//
+// The registry is descriptor-aware: raw kernel scenarios and the
+// handcrafted design construct an event simulator directly, so they
+// only exist for event-kind backends — a cycle backend (compiled) has
+// no event queue to measure and its registry starts at the compiled
+// flow. Unknown backend names get the full event registry; preparation
+// reports the lookup error.
 func ScenariosFor(backend string) []Scenario {
-	list := []Scenario{
-		// Raw kernel traffic: the substrate numbers behind every
-		// simulation time. Mirrors the pinned shapes benchmarked against
-		// the heap kernel in internal/hades.
-		kernelScenario(backend, "kernel-rings", "64 self-rescheduling rings, periods 2..17 (lane traffic)", true,
-			200_000, buildRings),
-		kernelScenario(backend, "kernel-deltastorm", "32 rings with two zero-delay hops per firing (delta traffic)", true,
-			100_000, buildDeltaStorm),
-		kernelScenario(backend, "kernel-fanout", "one ring fanning out to 256 listeners (wide batches)", true,
-			20_000, buildFanout),
-		kernelScenario(backend, "kernel-timers", "128 timers with periods 2000..14300 (overflow-heap traffic)", true,
-			2_000_000, buildFarTimers),
+	var list []Scenario
+	if backendKind(backend) == flow.KindEvent {
+		list = []Scenario{
+			// Raw kernel traffic: the substrate numbers behind every
+			// simulation time. Mirrors the pinned shapes benchmarked against
+			// the heap kernel in internal/hades.
+			kernelScenario(backend, "kernel-rings", "64 self-rescheduling rings, periods 2..17 (lane traffic)", true,
+				200_000, buildRings),
+			kernelScenario(backend, "kernel-deltastorm", "32 rings with two zero-delay hops per firing (delta traffic)", true,
+				100_000, buildDeltaStorm),
+			kernelScenario(backend, "kernel-fanout", "one ring fanning out to 256 listeners (wide batches)", true,
+				20_000, buildFanout),
+			kernelScenario(backend, "kernel-timers", "128 timers with periods 2000..14300 (overflow-heap traffic)", true,
+				2_000_000, buildFarTimers),
 
-		// A handcrafted design in the XML dialects (the examples/
-		// handcrafted accumulator, scaled up): netlist elaboration
-		// without the compiler in the loop.
-		{Name: "handcrafted-acc", Desc: "stimulus-fed accumulator over 4096 words (examples/handcrafted)",
-			Pinned: true, Prepare: prepareHandcrafted(backend)},
+			// A handcrafted design in the XML dialects (the examples/
+			// handcrafted accumulator, scaled up): netlist elaboration
+			// without the compiler in the loop.
+			{Name: "handcrafted-acc", Desc: "stimulus-fed accumulator over 4096 words (examples/handcrafted)",
+				Pinned: true, Prepare: prepareHandcrafted(backend)},
+		}
 	}
 	list = append(list, reconfigScenarios(backend)...)
+	list = append(list, gangScenarios(backend)...)
 
 	// Every registered workload family's bench presets, end to end
 	// through the RTG; wall time is the simulation only. Width presets
@@ -111,6 +122,18 @@ func Select(selector string, all []Scenario) ([]Scenario, error) {
 		out = append(out, sc)
 	}
 	return out, nil
+}
+
+// backendKind resolves a backend name to its registered kind. Unknown
+// names read as event so the registry shape stays stable; the backend
+// error surfaces when a scenario prepares.
+func backendKind(backend string) flow.BackendKind {
+	for _, b := range flow.Backends() {
+		if b.Name == backend {
+			return b.Kind
+		}
+	}
+	return flow.KindEvent
 }
 
 // --- kernel scenarios -------------------------------------------------------
@@ -347,6 +370,97 @@ func reconfigScenarios(backend string) []Scenario {
 				},
 			})
 		}
+	}
+	return list
+}
+
+// --- gang scenarios ---------------------------------------------------------
+
+// gangScenarios is the lane-parallel pair behind the compiled backend's
+// gang mode: one prepared design, 32 lanes with per-lane input images,
+// all executed by a single SimulateGang call per timed iteration. Wall
+// covers the whole gang round — reseed and reset included — so
+// configs/sec is directly comparable between the lockstep path
+// (compiled evaluates every lane inside one struct-of-arrays instance)
+// and the sequential fallback an event backend runs lane by lane; that
+// contrast is the gang acceptance ratio (see
+// TestCompiledGangBeatsSequential). Each lane's inputs are a distinct
+// rotation of the case's input stream, so lanes carry different data
+// without changing the cycle count.
+func gangScenarios(backend string) []Scenario {
+	type shape struct {
+		family string
+		name   string
+		desc   string
+		vals   workloads.Values
+		lanes  int
+	}
+	shapes := []shape{
+		{"newton", "gang-newton", "newton(n=64,iters=12), 32 data lanes per gang round", workloads.Values{"n": 64, "iters": 12}, 32},
+		{"erasure", "gang-erasure", "erasure(k=4,stripes=16), 32 data lanes per gang round", workloads.Values{"k": 4, "stripes": 16}, 32},
+	}
+	var list []Scenario
+	for _, sh := range shapes {
+		sh := sh
+		list = append(list, Scenario{
+			Name:   sh.name,
+			Desc:   sh.desc,
+			Family: sh.family,
+			Pinned: true,
+			Prepare: func() (RunFunc, error) {
+				w, err := workloads.Lookup(sh.family)
+				if err != nil {
+					return nil, err
+				}
+				c, err := workloads.BuildWorkloadInputs(w, sh.vals)
+				if err != nil {
+					return nil, err
+				}
+				c.Name = sh.name
+				tcase := core.WorkloadCase(c)
+				pd, err := prepareCase(backend, func() (core.TestCase, error) { return tcase, nil }, core.Options{}, false)
+				if err != nil {
+					return nil, err
+				}
+				laneSeeds := make([]map[string][]int64, sh.lanes)
+				for l := range laneSeeds {
+					seeds := map[string][]int64{}
+					for name, depth := range tcase.ArraySizes {
+						src := tcase.Inputs[name]
+						if len(src) == 0 {
+							continue // output arrays keep the prepared zero seed
+						}
+						words := make([]int64, depth)
+						for i := range src {
+							if i >= depth {
+								break
+							}
+							words[i] = src[(i+l)%len(src)]
+						}
+						seeds[name] = words
+					}
+					laneSeeds[l] = seeds
+				}
+				return func() (Measure, error) {
+					var m Measure
+					start := time.Now()
+					sims, err := pd.SimulateGang(laneSeeds)
+					if err != nil {
+						return Measure{}, err
+					}
+					for l, s := range sims {
+						if !s.Completed {
+							return Measure{}, fmt.Errorf("bench: %s: lane %d incomplete", sh.name, l)
+						}
+						m.Events += s.Events
+						m.Cycles += s.TotalCycles
+						m.Configs += uint64(len(s.Runs))
+					}
+					m.Wall = time.Since(start)
+					return m, nil
+				}, nil
+			},
+		})
 	}
 	return list
 }

@@ -282,16 +282,16 @@ func TestZeroOptionsObserveFlowDefaults(t *testing.T) {
 // backend registry (`testsuite -backend heapref` in miniature).
 func TestSuitePassesUnderEveryBackend(t *testing.T) {
 	for _, backend := range flow.Backends() {
-		if strings.HasPrefix(backend, "test-") {
+		if strings.HasPrefix(backend.Name, "test-") {
 			continue // synthetic registrations from other tests
 		}
-		s := &Suite{Name: "backend-" + backend, Cases: []TestCase{hammingCase("hamming", 16)}}
-		res := s.Run(Options{Backend: backend})
+		s := &Suite{Name: "backend-" + backend.Name, Cases: []TestCase{hammingCase("hamming", 16)}}
+		res := s.Run(Options{Backend: backend.Name})
 		if !res.Passed() {
-			t.Fatalf("%s: suite failed: %+v", backend, res.Results[0].Err)
+			t.Fatalf("%s: suite failed: %+v", backend.Name, res.Results[0].Err)
 		}
 		if res.TotalEvents == 0 {
-			t.Fatalf("%s: no events recorded", backend)
+			t.Fatalf("%s: no events recorded", backend.Name)
 		}
 	}
 }

@@ -22,7 +22,7 @@ var smallSuite = map[string]workloads.Values{
 // must compile, simulate and verify against its pure-Go reference model
 // on every registered simulator backend.
 func TestRegistrySuiteVerifiesOnEveryBackend(t *testing.T) {
-	for _, backend := range flow.Backends() {
+	for _, backend := range flow.BackendNames() {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
 			suite, err := RegistrySuite("registry-"+backend, smallSuite)

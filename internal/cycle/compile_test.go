@@ -1,0 +1,96 @@
+package cycle_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cycle"
+	"repro/internal/hades"
+	"repro/internal/operators"
+	"repro/internal/xmlspec"
+)
+
+// loopFSM is the smallest control unit binding one status line.
+func loopFSM(status string) *xmlspec.FSM {
+	return &xmlspec.FSM{
+		Name:    "ctl",
+		Inputs:  []xmlspec.FSMSignal{{Name: status}},
+		Outputs: []xmlspec.FSMSignal{{Name: "done"}},
+		States: []xmlspec.State{
+			{Name: "S", Initial: true, Transitions: []xmlspec.Transition{{Next: "E"}}},
+			{Name: "E", Final: true, Assigns: []xmlspec.Assign{{Signal: "done", Value: 1}}},
+		},
+	}
+}
+
+// TestCompileRejectsCombinationalLoop: two unary operators feeding each
+// other form a cycle no levelization can order — the compiler must name
+// the slots on the loop instead of looping itself.
+func TestCompileRejectsCombinationalLoop(t *testing.T) {
+	dp := &xmlspec.Datapath{
+		Name:  "looped",
+		Width: 32,
+		Operators: []xmlspec.Operator{
+			{ID: "n0", Type: "not"},
+			{ID: "n1", Type: "not"},
+		},
+		Connections: []xmlspec.Connection{
+			{From: "n0.y", To: "n1.a"},
+			{From: "n1.y", To: "n0.a"},
+		},
+		Statuses: []xmlspec.Status{{Name: "s", From: "n0.y"}},
+	}
+	_, err := cycle.Compile(dp, loopFSM("s"), nil)
+	if err == nil || !strings.Contains(err.Error(), "combinational loop") {
+		t.Fatalf("want combinational-loop error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "n0.y") || !strings.Contains(err.Error(), "n1.y") {
+		t.Fatalf("loop error must name the looped slots, got %v", err)
+	}
+}
+
+// TestCompileRejectsUnmodeledOperator: custom registry entries exist
+// only as event-kernel reactors; the cycle compiler must reject them
+// rather than silently miscompute.
+func TestCompileRejectsUnmodeledOperator(t *testing.T) {
+	reg := operators.DefaultRegistry()
+	reg.Register(&operators.Spec{
+		Type: "mystery",
+		Ports: func(p operators.Params) []operators.PortSpec {
+			return []operators.PortSpec{{Name: "y", Dir: operators.Out, Width: 32}}
+		},
+		Build: func(sim *hades.Simulator, id string, p operators.Params, conn map[string]*hades.Signal) (hades.Reactor, error) {
+			return &hades.ReactorFunc{Label: id, Fn: func(*hades.Simulator) {}}, nil
+		},
+	})
+	dp := &xmlspec.Datapath{
+		Name:      "custom",
+		Width:     32,
+		Operators: []xmlspec.Operator{{ID: "x0", Type: "mystery"}},
+		Statuses:  []xmlspec.Status{{Name: "s", From: "x0.y"}},
+	}
+	_, err := cycle.Compile(dp, loopFSM("s"), reg)
+	if err == nil || !strings.Contains(err.Error(), "no compiled model") {
+		t.Fatalf("want no-compiled-model error, got %v", err)
+	}
+}
+
+// TestRunRejectsShortPeriod mirrors hades.NewClock's period floor as an
+// error instead of a panic.
+func TestRunRejectsShortPeriod(t *testing.T) {
+	dp := &xmlspec.Datapath{
+		Name:      "tiny",
+		Width:     32,
+		Operators: []xmlspec.Operator{{ID: "c0", Type: "const", Value: 1}},
+		Statuses:  []xmlspec.Status{{Name: "s", From: "c0.y"}},
+	}
+	prog, err := cycle.Compile(dp, loopFSM("s"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance(1)
+	inst.Reset(0, nil)
+	if err := inst.Run(1, 10, nil); err == nil {
+		t.Fatal("period 1 must error")
+	}
+}

@@ -1,0 +1,595 @@
+package cycle
+
+import (
+	"fmt"
+
+	"repro/internal/hades"
+	"repro/internal/rtg"
+)
+
+// Sample is one traced slot observation: the raw masked value and its
+// definedness, exactly what a hades.Signal holds pre-edge.
+type Sample struct {
+	Val   uint64
+	Valid bool
+}
+
+// Instance is runnable per-lane state of a compiled Program. All value
+// state is struct-of-arrays indexed slot-major (slot*lanes+lane), so a
+// gang of lanes evaluates each node over a contiguous stripe. An
+// Instance is not safe for concurrent use; the controller serializes.
+type Instance struct {
+	p     *Program
+	lanes int
+
+	vals  []uint64 // slot-major value planes
+	valid []bool
+
+	mems    [][]uint64 // per memSpec, lane-major: mem[lane*depth+addr]
+	stimVec [][]int64  // per (stim, lane): private copy of the vector
+	stimPos []int
+	sinkRec [][]int64 // per (sink, lane)
+
+	state     []int
+	cycles    []uint64
+	endTime   []hades.Time
+	completed []bool
+	armed     []bool
+	doneWas   []bool // pre-publish done level, for transition detection
+
+	// per-run counters (rewound by Reset) and the lifetime reset count,
+	// mirroring the hades.Stats split.
+	events    []uint64
+	reactions []uint64
+	instants  []uint64
+	resets    []uint64
+
+	// Deferred-publication scratch: phase A samples against pre-edge
+	// slot values and parks results here; publish() then applies them,
+	// which is what makes register chains and RAM read-after-write match
+	// the event kernel's next-delta Set semantics.
+	regNext     []int64
+	regSet      []bool
+	ramNext     []int64
+	ramSet      []bool
+	stimOut     []int64
+	stimOutSet  []bool
+	stimLast    []int64
+	stimLastSet []bool
+
+	traceOn bool
+	traces  [][][]Sample // per lane, per cycle: one Sample per slot
+}
+
+// NewInstance allocates state for the given lane count (minimum 1).
+func (p *Program) NewInstance(lanes int) *Instance {
+	if lanes < 1 {
+		lanes = 1
+	}
+	in := &Instance{p: p, lanes: lanes}
+	n := len(p.slots) * lanes
+	in.vals = make([]uint64, n)
+	in.valid = make([]bool, n)
+	in.mems = make([][]uint64, len(p.mems))
+	for m := range p.mems {
+		in.mems[m] = make([]uint64, p.mems[m].depth*lanes)
+	}
+	in.stimVec = make([][]int64, len(p.stims)*lanes)
+	in.stimPos = make([]int, len(p.stims)*lanes)
+	in.sinkRec = make([][]int64, len(p.sinks)*lanes)
+	in.state = make([]int, lanes)
+	in.cycles = make([]uint64, lanes)
+	in.endTime = make([]hades.Time, lanes)
+	in.completed = make([]bool, lanes)
+	in.armed = make([]bool, lanes)
+	in.doneWas = make([]bool, lanes)
+	in.events = make([]uint64, lanes)
+	in.reactions = make([]uint64, lanes)
+	in.instants = make([]uint64, lanes)
+	in.resets = make([]uint64, lanes)
+	in.regNext = make([]int64, len(p.regs)*lanes)
+	in.regSet = make([]bool, len(p.regs)*lanes)
+	in.ramNext = make([]int64, len(p.rams)*lanes)
+	in.ramSet = make([]bool, len(p.rams)*lanes)
+	in.stimOut = make([]int64, len(p.stims)*lanes)
+	in.stimOutSet = make([]bool, len(p.stims)*lanes)
+	in.stimLast = make([]int64, len(p.stims)*lanes)
+	in.stimLastSet = make([]bool, len(p.stims)*lanes)
+	in.traces = make([][][]Sample, lanes)
+	return in
+}
+
+// Lanes returns the lane count.
+func (in *Instance) Lanes() int { return in.lanes }
+
+// EnableTrace records every slot's pre-edge value each cycle, the
+// cycle-engine side of the cross-engine clock-edge trace comparison.
+func (in *Instance) EnableTrace() { in.traceOn = true }
+
+// TraceRows returns a lane's recorded trace: one row per executed
+// cycle, indexed by slot (see Program.SlotNames). Rows are live until
+// the lane's next Reset.
+func (in *Instance) TraceRows(lane int) [][]Sample { return in.traces[lane] }
+
+// Slot value accessors. Reads mirror hades.Signal exactly: Int
+// sign-extends from the producing slot's width, Bool is bit 0 of the
+// raw value (an undefined slot reads 0, hence false), Uint is raw.
+
+func (in *Instance) validAt(slot, lane int) bool  { return in.valid[slot*in.lanes+lane] }
+func (in *Instance) uintAt(slot, lane int) uint64 { return in.vals[slot*in.lanes+lane] }
+func (in *Instance) boolAt(slot, lane int) bool   { return in.vals[slot*in.lanes+lane]&1 == 1 }
+func (in *Instance) intAt(slot, lane int) int64 {
+	return hades.SignExtend(in.vals[slot*in.lanes+lane], in.p.slots[slot].width)
+}
+
+// set publishes a value into a slot, masked to the slot width; a change
+// of value or definedness counts one event, like the kernel's batch
+// apply.
+func (in *Instance) set(slot, lane int, v int64) {
+	i := slot*in.lanes + lane
+	m := hades.Mask(uint64(v), in.p.slots[slot].width)
+	if !in.valid[i] || in.vals[i] != m {
+		in.vals[i], in.valid[i] = m, true
+		in.events[lane]++
+	}
+}
+
+// laneEnv adapts one lane's status slots to the fsmsim guard Env.
+type laneEnv struct {
+	in   *Instance
+	lane int
+}
+
+// Truth is true when the named status is defined and non-zero.
+func (e laneEnv) Truth(name string) bool {
+	s, ok := e.in.p.statusSlot[name]
+	if !ok {
+		return false
+	}
+	i := s*e.in.lanes + e.lane
+	return e.in.valid[i] && e.in.vals[i] != 0
+}
+
+// Reset rewinds one lane to the program's initial state and arms it:
+// slots undefined, ground and constants driven, registers at their
+// power-on values, the FSM in its initial state with that state's
+// outputs asserted, memories and stimuli reseeded from init (keyed by
+// operator id; missing ids zero-fill), sinks cleared — then one
+// combinational settle pass, the compiled counterpart of the event
+// kernel's time-zero delta cascade. init contents are copied.
+func (in *Instance) Reset(lane int, init map[string][]int64) {
+	L := in.lanes
+	in.resets[lane]++
+	in.events[lane], in.reactions[lane], in.instants[lane] = 0, 0, 0
+	for s := range in.p.slots {
+		i := s*L + lane
+		in.vals[i], in.valid[i] = 0, false
+	}
+	if in.p.gnd >= 0 {
+		in.valid[in.p.gnd*L+lane] = true
+	}
+	for _, cs := range in.p.consts {
+		in.set(cs.slot, lane, cs.val)
+	}
+	for r := range in.p.regs {
+		in.set(in.p.regs[r].q, lane, in.p.regs[r].init)
+		in.regSet[r*L+lane] = false
+	}
+	in.state[lane] = in.p.initial
+	st := &in.p.states[in.p.initial]
+	for o, slot := range in.p.ctlSlots {
+		in.set(slot, lane, st.outs[o])
+	}
+	for m := range in.p.mems {
+		ms := &in.p.mems[m]
+		mem := in.mems[m][lane*ms.depth : (lane+1)*ms.depth]
+		words, ok := init[ms.id]
+		if !ok {
+			words = ms.init
+		}
+		for i := range mem {
+			if i < len(words) {
+				mem[i] = hades.Mask(uint64(words[i]), ms.width)
+			} else {
+				mem[i] = 0
+			}
+		}
+	}
+	for m := range in.p.rams {
+		in.ramSet[m*L+lane] = false
+	}
+	for s := range in.p.stims {
+		i := s*L + lane
+		src, ok := init[in.p.stims[s].id]
+		if !ok {
+			src = in.p.stims[s].init
+		}
+		vec := in.stimVec[i]
+		if cap(vec) < len(src) {
+			vec = make([]int64, len(src))
+		}
+		vec = vec[:len(src)]
+		copy(vec, src)
+		in.stimVec[i] = vec
+		in.stimPos[i] = 0
+		in.stimOutSet[i], in.stimLastSet[i] = false, false
+	}
+	for s := range in.p.sinks {
+		i := s*L + lane
+		in.sinkRec[i] = in.sinkRec[i][:0]
+	}
+	in.cycles[lane], in.endTime[lane], in.completed[lane] = 0, 0, false
+	in.armed[lane] = true
+	if in.traceOn {
+		in.traces[lane] = in.traces[lane][:0]
+	}
+	in.settleLane(lane)
+}
+
+// Run executes every armed lane clock-by-clock. The horizon mirrors the
+// event kernel's clock arithmetic exactly: with half = period/2, rising
+// edge k falls at (2k-1)*half, and edges run while that stays within
+// maxCycles*period — so cycle counts and end times agree with a
+// hades.Clock for every period, odd ones included. A lane completes
+// when its done control transitions to 1 (the watchdog condition) and
+// is disarmed; at the horizon the remaining lanes complete if their FSM
+// sits in a final state or holds done high.
+func (in *Instance) Run(period hades.Time, maxCycles uint64, interrupt func() bool) error {
+	if period < 2 {
+		return fmt.Errorf("cycle: clock period must be at least 2 ticks")
+	}
+	half := period / 2
+	limit := hades.Time(maxCycles) * period
+	edges := uint64((limit/half + 1) / 2)
+	capEnd := (limit / half) * half
+	for cyc := uint64(1); cyc <= edges; cyc++ {
+		any := false
+		for l := 0; l < in.lanes; l++ {
+			if in.armed[l] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil
+		}
+		if interrupt != nil && interrupt() {
+			return hades.ErrInterrupted
+		}
+		if in.traceOn {
+			in.snapshot()
+		}
+		in.phaseA()
+		// Completion is the *transition* of done to 1: the event kernel's
+		// watchdog only reacts to a change, so a done held high from the
+		// initial state never trips it — capture the pre-publish level.
+		if in.p.done >= 0 {
+			for l := 0; l < in.lanes; l++ {
+				in.doneWas[l] = in.doneLevel(l)
+			}
+		}
+		in.publish()
+		in.settleAll()
+		for l := 0; l < in.lanes; l++ {
+			if !in.armed[l] {
+				continue
+			}
+			in.cycles[l] = cyc
+			in.instants[l]++
+			if in.p.done >= 0 && !in.doneWas[l] && in.doneLevel(l) {
+				in.completed[l] = true
+				in.endTime[l] = hades.Time(2*(cyc-1))*half + half
+				in.armed[l] = false
+			}
+		}
+	}
+	for l := 0; l < in.lanes; l++ {
+		if !in.armed[l] {
+			continue
+		}
+		in.endTime[l] = capEnd
+		in.completed[l] = in.p.states[in.state[l]].final || in.doneLevel(l)
+		in.armed[l] = false
+	}
+	return nil
+}
+
+// doneLevel reports whether a lane's done control is defined and holds 1.
+func (in *Instance) doneLevel(l int) bool {
+	if in.p.done < 0 {
+		return false
+	}
+	i := in.p.done*in.lanes + l
+	return in.valid[i] && in.vals[i]&1 == 1
+}
+
+// snapshot records every armed lane's pre-edge slot values.
+func (in *Instance) snapshot() {
+	for l := 0; l < in.lanes; l++ {
+		if !in.armed[l] {
+			continue
+		}
+		row := make([]Sample, len(in.p.slots))
+		for s := range in.p.slots {
+			i := s*in.lanes + l
+			row[s] = Sample{Val: in.vals[i], Valid: in.valid[i]}
+		}
+		in.traces[l] = append(in.traces[l], row)
+	}
+}
+
+// phaseA evaluates every sequential element against the pre-edge slot
+// values: register sampling, FSM transition, RAM write + read-port
+// refresh, stimulus advance and sink capture. Nothing publishes here —
+// results park in the deferred scratch so every element of the same
+// edge observes the same pre-edge state, exactly like the event
+// kernel's delta-0 reactions.
+func (in *Instance) phaseA() {
+	L := in.lanes
+	for r := range in.p.regs {
+		rg := &in.p.regs[r]
+		for l := 0; l < L; l++ {
+			if !in.armed[l] {
+				continue
+			}
+			in.reactions[l]++
+			i := r*L + l
+			if rg.rst >= 0 && in.boolAt(rg.rst, l) {
+				in.regNext[i], in.regSet[i] = rg.init, true
+				continue
+			}
+			if rg.en >= 0 && !in.boolAt(rg.en, l) {
+				continue
+			}
+			if in.validAt(rg.d, l) {
+				in.regNext[i], in.regSet[i] = in.intAt(rg.d, l), true
+			}
+		}
+	}
+	for l := 0; l < L; l++ {
+		if !in.armed[l] {
+			continue
+		}
+		in.reactions[l]++
+		st := &in.p.states[in.state[l]]
+		env := laneEnv{in: in, lane: l}
+		for _, tr := range st.trans {
+			if tr.cond.Eval(env) {
+				in.state[l] = tr.next
+				break
+			}
+		}
+	}
+	for m := range in.p.rams {
+		rn := &in.p.rams[m]
+		ms := &in.p.mems[rn.mem]
+		mem := in.mems[rn.mem]
+		for l := 0; l < L; l++ {
+			if !in.armed[l] {
+				continue
+			}
+			in.reactions[l]++
+			if in.boolAt(rn.we, l) && in.validAt(rn.addr, l) && in.validAt(rn.din, l) {
+				if a := int(in.uintAt(rn.addr, l)); a < ms.depth {
+					mem[l*ms.depth+a] = hades.Mask(in.uintAt(rn.din, l), ms.width)
+				}
+			}
+			// Read-port refresh from the pre-edge address over the
+			// post-write contents (the event RAM does both in one React).
+			if in.validAt(rn.addr, l) {
+				if a := int(in.uintAt(rn.addr, l)); a < ms.depth {
+					i := m*L + l
+					in.ramNext[i] = hades.SignExtend(mem[l*ms.depth+a], ms.width)
+					in.ramSet[i] = true
+				}
+			}
+		}
+	}
+	for s := range in.p.stims {
+		for l := 0; l < L; l++ {
+			if !in.armed[l] {
+				continue
+			}
+			in.reactions[l]++
+			i := s*L + l
+			vec := in.stimVec[i]
+			if len(vec) == 0 {
+				in.stimLast[i], in.stimLastSet[i] = 1, true
+				continue
+			}
+			pos := in.stimPos[i]
+			idx := pos
+			if idx >= len(vec) {
+				idx = len(vec) - 1
+			}
+			in.stimOut[i], in.stimOutSet[i] = vec[idx], true
+			if pos >= len(vec)-1 {
+				in.stimLast[i] = 1
+			} else {
+				in.stimLast[i] = 0
+			}
+			in.stimLastSet[i] = true
+			if pos < len(vec) {
+				in.stimPos[i] = pos + 1
+			}
+		}
+	}
+	for s := range in.p.sinks {
+		sn := &in.p.sinks[s]
+		for l := 0; l < L; l++ {
+			if !in.armed[l] {
+				continue
+			}
+			in.reactions[l]++
+			if sn.en >= 0 && !in.boolAt(sn.en, l) {
+				continue
+			}
+			if in.validAt(sn.in, l) {
+				i := s*L + l
+				in.sinkRec[i] = append(in.sinkRec[i], in.intAt(sn.in, l))
+			}
+		}
+	}
+}
+
+// publish applies the deferred phase-A results to the slots.
+func (in *Instance) publish() {
+	L := in.lanes
+	for r := range in.p.regs {
+		rg := &in.p.regs[r]
+		for l := 0; l < L; l++ {
+			i := r*L + l
+			if in.regSet[i] {
+				in.set(rg.q, l, in.regNext[i])
+				in.regSet[i] = false
+			}
+		}
+	}
+	for l := 0; l < L; l++ {
+		if !in.armed[l] {
+			continue
+		}
+		st := &in.p.states[in.state[l]]
+		for o, slot := range in.p.ctlSlots {
+			in.set(slot, l, st.outs[o])
+		}
+	}
+	for m := range in.p.rams {
+		rn := &in.p.rams[m]
+		for l := 0; l < L; l++ {
+			i := m*L + l
+			if in.ramSet[i] {
+				in.set(rn.dout, l, in.ramNext[i])
+				in.ramSet[i] = false
+			}
+		}
+	}
+	for s := range in.p.stims {
+		sn := &in.p.stims[s]
+		for l := 0; l < L; l++ {
+			i := s*L + l
+			if in.stimOutSet[i] {
+				in.set(sn.out, l, in.stimOut[i])
+				in.stimOutSet[i] = false
+			}
+			if in.stimLastSet[i] {
+				in.set(sn.last, l, in.stimLast[i])
+				in.stimLastSet[i] = false
+			}
+		}
+	}
+}
+
+// evalNode evaluates one combinational node for one lane, with the
+// event operators' hold-on-undefined semantics: a node whose inputs are
+// not all defined (or whose select/address is out of range) keeps its
+// previous output.
+func (in *Instance) evalNode(n *combNode, l int) {
+	in.reactions[l]++
+	switch n.kind {
+	case combUnary:
+		if in.validAt(n.a, l) {
+			in.set(n.y, l, n.un(in.intAt(n.a, l), n.width))
+		}
+	case combBinary:
+		if in.validAt(n.a, l) && in.validAt(n.b, l) {
+			in.set(n.y, l, n.bin(in.intAt(n.a, l), in.intAt(n.b, l), n.width))
+		}
+	case combMux:
+		if !in.validAt(n.sel, l) {
+			return
+		}
+		idx := int(in.uintAt(n.sel, l))
+		if idx < 0 || idx >= len(n.ins) {
+			return
+		}
+		src := n.ins[idx]
+		if in.validAt(src, l) {
+			in.set(n.y, l, in.intAt(src, l))
+		}
+	case combMemRead:
+		if !in.validAt(n.a, l) {
+			return
+		}
+		ms := &in.p.mems[n.mem]
+		if a := int(in.uintAt(n.a, l)); a < ms.depth {
+			in.set(n.y, l, hades.SignExtend(in.mems[n.mem][l*ms.depth+a], ms.width))
+		}
+	}
+}
+
+// settleAll runs the levelized combinational pass for every armed lane.
+// One pass in topological order reaches the delta-cascade fixpoint.
+func (in *Instance) settleAll() {
+	for i := range in.p.comb {
+		n := &in.p.comb[i]
+		for l := 0; l < in.lanes; l++ {
+			if in.armed[l] {
+				in.evalNode(n, l)
+			}
+		}
+	}
+}
+
+// settleLane is settleAll for a single lane (the Reset settle pass).
+func (in *Instance) settleLane(l int) {
+	for i := range in.p.comb {
+		in.evalNode(&in.p.comb[i], l)
+	}
+}
+
+// Result reports a lane's last run, with hades-shaped counters: Events,
+// Reactions and Instants are per-run, Elaborations is 1 (the program
+// compiles once) and Resets counts replay rounds — the first Reset is
+// part of instantiation, matching the event path where a configuration's
+// first visit elaborates (Resets 0) and repeat visits reset-and-replay.
+func (in *Instance) Result(lane int) rtg.LaneRun {
+	replays := in.resets[lane]
+	if replays > 0 {
+		replays--
+	}
+	return rtg.LaneRun{
+		Cycles:     in.cycles[lane],
+		EndTime:    in.endTime[lane],
+		Completed:  in.completed[lane],
+		FinalState: in.p.states[in.state[lane]].name,
+		Stats: hades.Stats{
+			Events:       in.events[lane],
+			Deltas:       in.instants[lane],
+			Reactions:    in.reactions[lane],
+			Instants:     in.instants[lane],
+			Elaborations: 1,
+			Resets:       replays,
+		},
+	}
+}
+
+// Sinks returns a lane's sink recordings by operator id. The slices are
+// live buffers, valid until the lane's next Reset.
+func (in *Instance) Sinks(lane int) map[string][]int64 {
+	out := make(map[string][]int64, len(in.p.sinks))
+	for s := range in.p.sinks {
+		out[in.p.sinks[s].id] = in.sinkRec[s*in.lanes+lane]
+	}
+	return out
+}
+
+// CopyShared writes a lane's contents of the RAM bound to the given RTG
+// shared-memory ref into dst as sign-extended words, reporting whether
+// the ref exists in this configuration.
+func (in *Instance) CopyShared(lane int, ref string, dst []int64) bool {
+	m, ok := in.p.memByRef[ref]
+	if !ok {
+		return false
+	}
+	ms := &in.p.mems[m]
+	mem := in.mems[m][lane*ms.depth : (lane+1)*ms.depth]
+	n := ms.depth
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = hades.SignExtend(mem[i], ms.width)
+	}
+	return true
+}

@@ -183,7 +183,7 @@ func (p *Pipeline) rtgOptions() rtg.Options {
 		ClockPeriod:   p.cfg.ClockPeriod,
 		MaxCycles:     p.cfg.MaxCycles,
 		MaxConfigs:    p.cfg.MaxConfigs,
-		NewSimulator:  p.backend.New,
+		Engine:        p.backend.engine(),
 		Context:       p.cfg.Context,
 		DisableReplay: p.cfg.FreshElaboration,
 		Observer: func(cfgID string, el *netlist.Elaboration) {

@@ -80,22 +80,40 @@ func TestRTGObservesFlowDefaults(t *testing.T) {
 }
 
 func TestBackendRegistry(t *testing.T) {
-	names := flow.Backends()
-	if len(names) < 2 || names[0] != "twolevel" {
-		t.Fatalf("Backends()=%v, want twolevel first", names)
+	infos := flow.Backends()
+	if len(infos) < 3 || infos[0].Name != "twolevel" {
+		t.Fatalf("Backends()=%v, want twolevel first", infos)
 	}
-	found := false
-	for _, n := range names {
-		if n == "heapref" {
-			found = true
+	byName := map[string]flow.BackendInfo{}
+	for _, bi := range infos {
+		if bi.Desc == "" || bi.Kind == "" {
+			t.Fatalf("backend %q missing descriptor fields: %+v", bi.Name, bi)
+		}
+		byName[bi.Name] = bi
+	}
+	if bi, ok := byName["heapref"]; !ok || bi.Kind != flow.KindEvent || bi.SupportsGang {
+		t.Fatalf("heapref descriptor wrong or missing: %+v", byName["heapref"])
+	}
+	if bi, ok := byName["compiled"]; !ok || bi.Kind != flow.KindCycle || !bi.SupportsGang {
+		t.Fatalf("compiled descriptor wrong or missing: %+v", byName["compiled"])
+	}
+	if got, want := flow.BackendNames(), len(infos); len(got) != want || got[0] != "twolevel" {
+		t.Fatalf("BackendNames()=%v diverges from Backends()=%v", got, infos)
+	}
+	// One unified unknown-name error on every lookup path: it names the
+	// missing backend and carries the full sorted descriptor catalog.
+	_, err := flow.LookupBackend("no-such-kernel")
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("lookup of unknown backend: %v", err)
+	}
+	for _, bi := range infos {
+		want := fmt.Sprintf("%s (%s): %s", bi.Name, bi.Kind, bi.Desc)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-backend error %q missing catalog entry %q", err, want)
 		}
 	}
-	if !found {
-		t.Fatalf("Backends()=%v, want heapref listed", names)
-	}
-	if _, err := flow.LookupBackend("no-such-kernel"); err == nil ||
-		!strings.Contains(err.Error(), "unknown backend") {
-		t.Fatalf("lookup of unknown backend: %v", err)
+	if _, err2 := flow.New(flow.WithBackend("no-such-kernel")); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("pipeline lookup error %v diverges from LookupBackend error %v", err2, err)
 	}
 	if b, err := flow.LookupBackend(""); err != nil || b.Name != flow.DefaultBackend {
 		t.Fatalf("empty name must resolve the default backend, got %v/%v", b.Name, err)
@@ -397,6 +415,7 @@ func TestProgressObserverOutput(t *testing.T) {
 }
 
 func ExampleBackends() {
-	fmt.Println(flow.Backends()[0])
-	// Output: twolevel
+	def := flow.Backends()[0]
+	fmt.Println(def.Name, def.Kind)
+	// Output: twolevel event
 }

@@ -1,0 +1,109 @@
+package flow_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestSimulateGangMatchesSequential is the gang acceptance property:
+// the same lane population must produce identical per-lane results on
+// the compiled backend's lockstep path, the event backend's sequential
+// fallback, and plain one-at-a-time SetSeed+Simulate rounds — same
+// configuration sequences, same cycle counts, same sink recordings,
+// same final memories.
+func TestSimulateGangMatchesSequential(t *testing.T) {
+	laneSeeds := []map[string][]int64{
+		nil, // prepared seeds untouched
+		{"a": {1, 2, 3, 4, 5, 6, 7, 8}},
+		{"a": {-8, -7, -6, -5, -4, -3, -2, -1}},
+		{"a": {100, 0, -100, 50, 25, 12, 6, 3}},
+	}
+
+	type laneOut struct {
+		completed bool
+		runs      string
+		memories  string
+	}
+	gangOn := func(backend string) []laneOut {
+		p, err := flow.New(flow.WithBackend(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.Prepare(scaleSource())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims, err := d.SimulateGang(laneSeeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]laneOut, len(sims))
+		for l, s := range sims {
+			var runs string
+			for _, run := range s.Runs {
+				runs += fmt.Sprintf("%s cycles=%d completed=%v state=%s sinks=%v;",
+					run.ID, run.Cycles, run.Completed, run.FinalState, run.Sinks)
+			}
+			out[l] = laneOut{completed: s.Completed, runs: runs, memories: fmt.Sprint(s.Memories)}
+		}
+		return out
+	}
+
+	compiled := gangOn("compiled")
+	event := gangOn("twolevel")
+	if len(compiled) != len(laneSeeds) || len(event) != len(laneSeeds) {
+		t.Fatalf("lane counts: compiled %d, event %d, want %d", len(compiled), len(event), len(laneSeeds))
+	}
+	for l := range laneSeeds {
+		if compiled[l] != event[l] {
+			t.Fatalf("lane %d diverges between lockstep and sequential gang:\ncompiled %+v\nevent    %+v",
+				l, compiled[l], event[l])
+		}
+	}
+
+	// Ground truth: each lane as its own sequential SetSeed+Simulate round.
+	p, err := flow.New(flow.WithBackend("twolevel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Prepare(scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, seeds := range laneSeeds {
+		for id, words := range seeds {
+			if err := d.SetSeed(id, words); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := d.Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprint(s.Memories); got != compiled[l].memories {
+			t.Fatalf("lane %d: gang memories diverge from a sequential round:\ngang %s\nseq  %s",
+				l, compiled[l].memories, got)
+		}
+		if s.Completed != compiled[l].completed {
+			t.Fatalf("lane %d: completion diverges", l)
+		}
+	}
+}
+
+// TestSimulateGangLaneSeedValidation: unknown shared-memory ids in a
+// lane seed must fail the whole gang up front.
+func TestSimulateGangLaneSeedValidation(t *testing.T) {
+	p, err := flow.New(flow.WithBackend("compiled"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Prepare(scaleSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SimulateGang([]map[string][]int64{{"ghost": {1}}}); err == nil {
+		t.Fatal("unknown lane-seed memory must error")
+	}
+}

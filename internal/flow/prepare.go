@@ -164,6 +164,53 @@ func (d *PreparedDesign) SimulateContext(ctx context.Context) (*SimResult, error
 	return d.p.simulateCtx(d.elab, ctx)
 }
 
+// SimulateGang runs one RTG walk for a whole population of lanes: lane
+// i starts from the prepared seeds overlaid with laneSeeds[i] (keyed by
+// shared-memory id; a nil map or missing id keeps the prepared seed),
+// and every lane walks the same configuration sequence. On a
+// gang-capable backend (see BackendInfo.SupportsGang) the lanes are
+// evaluated in lockstep inside one compiled instance per configuration;
+// other backends run the lanes sequentially on the replay cache. The
+// whole gang is one atomic round with respect to concurrent rounds, and
+// observers are not streamed per lane.
+func (d *PreparedDesign) SimulateGang(laneSeeds []map[string][]int64) ([]*SimResult, error) {
+	return d.SimulateGangContext(nil, laneSeeds)
+}
+
+// SimulateGangContext is SimulateGang under a per-round cancellation
+// context (nil falls back to the pipeline's configured context).
+func (d *PreparedDesign) SimulateGangContext(ctx context.Context, laneSeeds []map[string][]int64) ([]*SimResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Reseed the controller store: lanes without an override start from
+	// the prepared seed images, exactly like a plain Simulate round.
+	for _, id := range d.elab.MemoryIDs() {
+		if err := d.elab.LoadMemory(id, d.seeds[id]); err != nil {
+			return nil, err
+		}
+	}
+	lanes, err := d.elab.Controller.ExecuteGangContext(ctx, laneSeeds)
+	if err != nil {
+		return nil, err
+	}
+	d.runs++
+	out := make([]*SimResult, len(lanes))
+	for l, lane := range lanes {
+		s := &SimResult{
+			Runs:      lane.Exec.Runs,
+			Completed: lane.Exec.Completed,
+			Memories:  lane.Memories,
+		}
+		s.TotalCycles = lane.Exec.TotalCycles
+		for _, run := range lane.Exec.Runs {
+			s.Events += run.Events
+			s.SimWall += run.Wall
+		}
+		out[l] = s
+	}
+	return out, nil
+}
+
 // Run is one full verification round on the prepared design: reseed,
 // simulate, and — when the design was prepared from source and the
 // simulation completed — verify against the golden interpreter. The

@@ -12,7 +12,7 @@ import (
 // with the replay cache actually carrying the rounds (Resets climbs,
 // Elaborations stays at one per configuration).
 func TestPreparedDesignRunRepeats(t *testing.T) {
-	for _, backend := range flow.Backends() {
+	for _, backend := range flow.BackendNames() {
 		t.Run(backend, func(t *testing.T) {
 			var runs []rtg.ConfigRun
 			obs := &configCollector{runs: &runs}

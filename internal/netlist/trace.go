@@ -1,0 +1,71 @@
+package netlist
+
+import (
+	"sort"
+
+	"repro/internal/hades"
+)
+
+// EdgeSample is one signal's value at a clock edge: the raw (masked)
+// word plus whether the signal was defined.
+type EdgeSample struct {
+	Val   uint64
+	Valid bool
+}
+
+// EdgeTrace samples every wire and control line at each rising clock
+// edge — the event-kernel counterpart of the cycle engine's per-edge
+// trace, keyed identically ("op.port" for wires, "ctl.<name>" for FSM
+// outputs) so traces from both engines compare row by row.
+//
+// The tap listens on the clock and samples in the edge's own delta:
+// clocked components publish their edge updates one delta later (Set
+// with zero delay), so every sampled value is the pre-edge state of the
+// net, independent of listener order.
+type EdgeTrace struct {
+	keys []string
+	sigs []*hades.Signal
+	rows [][]EdgeSample
+}
+
+// AttachEdgeTrace taps the elaboration's clock with an edge trace.
+// Attach after elaboration (and re-attach after Reset: like probes and
+// VCD taps, the listener is detached by the replay rewind). One row is
+// recorded per rising edge.
+func (el *Elaboration) AttachEdgeTrace() *EdgeTrace {
+	tr := &EdgeTrace{}
+	for ep := range el.Wires {
+		tr.keys = append(tr.keys, ep)
+	}
+	for name := range el.Controls {
+		tr.keys = append(tr.keys, "ctl."+name)
+	}
+	sort.Strings(tr.keys)
+	tr.sigs = make([]*hades.Signal, len(tr.keys))
+	for i, key := range tr.keys {
+		if sig, ok := el.Wires[key]; ok {
+			tr.sigs[i] = sig
+		} else {
+			tr.sigs[i] = el.Controls[key[len("ctl."):]]
+		}
+	}
+	clk := el.Clk
+	el.Clk.Listen(&hades.ReactorFunc{Label: "edge-trace", Fn: func(sim *hades.Simulator) {
+		if !clk.Bool() {
+			return
+		}
+		row := make([]EdgeSample, len(tr.sigs))
+		for i, sig := range tr.sigs {
+			row[i] = EdgeSample{Val: sig.Uint(), Valid: sig.Valid()}
+		}
+		tr.rows = append(tr.rows, row)
+	}})
+	return tr
+}
+
+// Keys returns the sampled signal names in row order.
+func (tr *EdgeTrace) Keys() []string { return tr.keys }
+
+// Rows returns the recorded trace: one row per rising clock edge, one
+// EdgeSample per key.
+func (tr *EdgeTrace) Rows() [][]EdgeSample { return tr.rows }

@@ -54,9 +54,15 @@ type Options struct {
 	MaxCycles   uint64              // per configuration; required
 	MaxConfigs  int                 // reconfiguration bound; required
 	// NewSimulator builds the event kernel for each configuration
-	// (nil: hades.NewSimulator). The flow backend registry selects the
-	// kernel through this hook.
+	// (nil: hades.NewSimulator). The legacy hook, kept for direct
+	// controller users; it is ignored when Engine is set.
 	NewSimulator func() *hades.Simulator
+	// Engine selects the execution engine. nil wraps NewSimulator (or
+	// the default kernel) in a SimulatorEngine — the event path. A
+	// CycleEngine switches the controller to compiled clock-by-clock
+	// execution: configurations are levelized once and replayed with no
+	// event queue, and ExecuteGang runs them in lockstep across lanes.
+	Engine Engine
 	// LocalInit seeds non-shared memories/stimuli per configuration id
 	// and operator id (contents typically come from the I/O files).
 	LocalInit map[string]map[string][]int64
@@ -90,6 +96,16 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.NewSimulator == nil {
 		out.NewSimulator = hades.NewSimulator
+	}
+	switch e := out.Engine.(type) {
+	case nil:
+		out.Engine = &SimulatorEngine{New: out.NewSimulator}
+	case EventEngine:
+		out.NewSimulator = e.NewSimulator
+	case CycleEngine:
+		// compiled path; NewSimulator is unused.
+	default:
+		return out, fmt.Errorf("rtg: Options.Engine %q is neither an EventEngine nor a CycleEngine", e.EngineName())
 	}
 	if out.ClockPeriod <= 0 {
 		return out, fmt.Errorf("rtg: Options.ClockPeriod must be positive (construct options through internal/flow, which supplies the defaults)")
@@ -141,6 +157,11 @@ type Controller struct {
 	// controller the configuration id alone keys (configuration,
 	// kernel, registry). nil when Options.DisableReplay is set.
 	cache map[string]*netlist.Elaboration
+	// progs and insts are the cycle-engine replay caches: one compiled
+	// program per configuration id and one instance per (configuration,
+	// lane count). nil when Options.DisableReplay is set.
+	progs map[string]ConfigProgram
+	insts map[string]ConfigInstance
 	// seedBuf reuses per-operator seed-copy buffers across runs so the
 	// replay path's mandatory copies (see runConfiguration) do not
 	// allocate in the steady state.
@@ -160,6 +181,8 @@ func NewController(design *xmlspec.Design, opts Options) (*Controller, error) {
 	c := &Controller{design: design, opts: o, store: map[string][]int64{}, seedBuf: map[string][]int64{}}
 	if !o.DisableReplay {
 		c.cache = map[string]*netlist.Elaboration{}
+		c.progs = map[string]ConfigProgram{}
+		c.insts = map[string]ConfigInstance{}
 	}
 	for _, m := range design.RTG.Memories {
 		c.store[m.ID] = make([]int64, m.Depth)
@@ -247,6 +270,12 @@ func (c *Controller) ExecuteContext(ctx context.Context) (*ExecResult, error) {
 	if ctx == nil {
 		ctx = c.opts.Context
 	}
+	return c.walkLocked(ctx)
+}
+
+// walkLocked performs one full RTG walk against the current store. The
+// caller holds c.mu and has already resolved the effective context.
+func (c *Controller) walkLocked(ctx context.Context) (*ExecResult, error) {
 	res := &ExecResult{Completed: true}
 	cur := c.design.RTG.Start
 	for steps := 0; cur != ""; steps++ {
@@ -298,12 +327,11 @@ func (c *Controller) seedCopy(cfgID, opID string, words []int64) []int64 {
 	return buf
 }
 
-func (c *Controller) runConfiguration(cfg *xmlspec.Configuration, ctx context.Context) (*ConfigRun, error) {
+// configInit builds one configuration's InitData against the given
+// shared store: locals from LocalInit, shared refs from the store —
+// every seed copied (see seedCopy).
+func (c *Controller) configInit(cfg *xmlspec.Configuration, store map[string][]int64) (map[string][]int64, error) {
 	dp := c.design.Datapaths[cfg.Datapath]
-	fsm := c.design.FSMs[cfg.FSM]
-
-	// Seed InitData: shared refs from the store, locals from LocalInit —
-	// every seed copied (see seedCopy).
 	init := map[string][]int64{}
 	for id, words := range c.opts.LocalInit[cfg.ID] {
 		init[id] = c.seedCopy(cfg.ID, id, words)
@@ -311,12 +339,26 @@ func (c *Controller) runConfiguration(cfg *xmlspec.Configuration, ctx context.Co
 	for i := range dp.Operators {
 		op := &dp.Operators[i]
 		if op.Ref != "" {
-			words, ok := c.store[op.Ref]
+			words, ok := store[op.Ref]
 			if !ok {
 				return nil, fmt.Errorf("rtg: configuration %q: unknown shared memory %q", cfg.ID, op.Ref)
 			}
 			init[op.ID] = c.seedCopy(cfg.ID, op.ID, words)
 		}
+	}
+	return init, nil
+}
+
+func (c *Controller) runConfiguration(cfg *xmlspec.Configuration, ctx context.Context) (*ConfigRun, error) {
+	if ce, ok := c.opts.Engine.(CycleEngine); ok {
+		return c.runConfigurationCycle(ce, cfg, ctx)
+	}
+	dp := c.design.Datapaths[cfg.Datapath]
+	fsm := c.design.FSMs[cfg.FSM]
+
+	init, err := c.configInit(cfg, c.store)
+	if err != nil {
+		return nil, err
 	}
 
 	// The reconfiguration: a cached configuration is reset and replayed
@@ -382,4 +424,249 @@ func (c *Controller) runConfiguration(cfg *xmlspec.Configuration, ctx context.Co
 		run.Sinks[id] = append([]int64(nil), sink.Recorded()...)
 	}
 	return run, nil
+}
+
+// cycleInstance resolves (and on the replay path caches) the compiled
+// program and lane-count instance for one configuration.
+func (c *Controller) cycleInstance(ce CycleEngine, cfg *xmlspec.Configuration, lanes int) (ConfigInstance, error) {
+	key := fmt.Sprintf("%s\x00%d", cfg.ID, lanes)
+	if c.insts != nil {
+		if inst, ok := c.insts[key]; ok {
+			return inst, nil
+		}
+	}
+	prog := c.progs[cfg.ID]
+	if prog == nil {
+		var err error
+		prog, err = ce.CompileConfiguration(c.design.Datapaths[cfg.Datapath], c.design.FSMs[cfg.FSM], c.opts.Registry)
+		if err != nil {
+			return nil, err
+		}
+		if c.progs != nil {
+			c.progs[cfg.ID] = prog
+		}
+	}
+	inst := prog.Instantiate(lanes)
+	if c.insts != nil {
+		c.insts[key] = inst
+	}
+	return inst, nil
+}
+
+// runConfigurationCycle is runConfiguration on a CycleEngine: compile
+// (or fetch) the levelized program, reset a single lane from the store,
+// and execute clock-by-clock with no event queue.
+func (c *Controller) runConfigurationCycle(ce CycleEngine, cfg *xmlspec.Configuration, ctx context.Context) (*ConfigRun, error) {
+	inst, err := c.cycleInstance(ce, cfg, 1)
+	if err != nil {
+		return nil, fmt.Errorf("rtg: configuration %q: %w", cfg.ID, err)
+	}
+	init, err := c.configInit(cfg, c.store)
+	if err != nil {
+		return nil, err
+	}
+	inst.Reset(0, init)
+	var interrupt func() bool
+	if ctx != nil {
+		interrupt = func() bool { return ctx.Err() != nil }
+	}
+	start := time.Now()
+	if err := inst.Run(c.opts.ClockPeriod, c.opts.MaxCycles, interrupt); err != nil {
+		return nil, fmt.Errorf("rtg: configuration %q: %w", cfg.ID, err)
+	}
+	wall := time.Since(start)
+	dp := c.design.Datapaths[cfg.Datapath]
+	for i := range dp.Operators {
+		op := &dp.Operators[i]
+		if op.Ref != "" {
+			inst.CopyShared(0, op.Ref, c.store[op.Ref])
+		}
+	}
+	return c.laneRunRecord(ce, cfg.ID, inst, 0, wall), nil
+}
+
+// laneRunRecord converts one lane's results into a ConfigRun record.
+func (c *Controller) laneRunRecord(ce CycleEngine, cfgID string, inst ConfigInstance, lane int, wall time.Duration) *ConfigRun {
+	lr := inst.Result(lane)
+	run := &ConfigRun{
+		ID:         cfgID,
+		Cycles:     lr.Cycles,
+		EndTime:    lr.EndTime,
+		Completed:  lr.Completed,
+		FinalState: lr.FinalState,
+		Events:     lr.Stats.Events,
+		Stats:      lr.Stats,
+		Kernel:     ce.EngineName(),
+		Wall:       wall,
+		Sinks:      map[string][]int64{},
+	}
+	for id, rec := range inst.Sinks(lane) {
+		run.Sinks[id] = append([]int64(nil), rec...)
+	}
+	return run
+}
+
+// GangLane reports one lane of a gang execution: the lane's full RTG
+// walk and its final shared-memory contents. Gang lanes never touch the
+// controller's own store.
+type GangLane struct {
+	Exec     ExecResult
+	Memories map[string][]int64
+}
+
+// ExecuteGang is ExecuteGangContext with the controller's configured
+// context.
+func (c *Controller) ExecuteGang(laneSeeds []map[string][]int64) ([]GangLane, error) {
+	return c.ExecuteGangContext(nil, laneSeeds)
+}
+
+// ExecuteGangContext walks the RTG once for a whole population of
+// lanes. Each lane starts from a private snapshot of the current shared
+// store, overlaid with its laneSeeds entry (keyed by shared-memory id;
+// a seeded memory is loaded LoadMemory-style, missing ids keep the
+// store contents; a nil map keeps the store as-is).
+//
+// On a CycleEngine the lanes execute in lockstep: every configuration
+// is compiled once, instantiated for the lane count, and evaluated
+// struct-of-arrays — the walk and the per-node bookkeeping amortize
+// over the population. Event engines fall back to one sequential walk
+// per lane (sharing the replay cache), which is the baseline gang
+// benchmarks compare against. Per-configuration AfterConfig/Observer
+// hooks do not fire during gang walks.
+//
+// A lane whose configuration misses the cycle cap stops walking
+// (Exec.Completed false) without affecting the other lanes; hard errors
+// abort the whole gang.
+func (c *Controller) ExecuteGangContext(ctx context.Context, laneSeeds []map[string][]int64) ([]GangLane, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctx == nil {
+		ctx = c.opts.Context
+	}
+	lanes := len(laneSeeds)
+	if lanes == 0 {
+		return nil, fmt.Errorf("rtg: %s: gang execution needs at least one lane", c.design.RTG.Name)
+	}
+	stores := make([]map[string][]int64, lanes)
+	for l := range stores {
+		for id := range laneSeeds[l] {
+			if _, ok := c.store[id]; !ok {
+				return nil, fmt.Errorf("rtg: gang lane %d: unknown shared memory %q", l, id)
+			}
+		}
+		st := make(map[string][]int64, len(c.store))
+		for id, words := range c.store {
+			buf := make([]int64, len(words))
+			if seed, ok := laneSeeds[l][id]; ok {
+				for i := range buf {
+					if i < len(seed) {
+						buf[i] = seed[i]
+					}
+				}
+			} else {
+				copy(buf, words)
+			}
+			st[id] = buf
+		}
+		stores[l] = st
+	}
+	if ce, ok := c.opts.Engine.(CycleEngine); ok {
+		return c.gangLockstep(ce, ctx, stores)
+	}
+	return c.gangSequential(ctx, stores)
+}
+
+// gangSequential runs one full walk per lane on the event engine,
+// swapping the lane's private store in for the walk. The replay cache
+// is shared across lanes — each configuration elaborates at most once
+// for the whole gang.
+func (c *Controller) gangSequential(ctx context.Context, stores []map[string][]int64) ([]GangLane, error) {
+	out := make([]GangLane, len(stores))
+	saved := c.store
+	defer func() { c.store = saved }()
+	for l := range stores {
+		c.store = stores[l]
+		res, err := c.walkLocked(ctx)
+		if err != nil {
+			return out, fmt.Errorf("rtg: gang lane %d: %w", l, err)
+		}
+		out[l] = GangLane{Exec: *res, Memories: stores[l]}
+	}
+	return out, nil
+}
+
+// gangLockstep walks the RTG once, evaluating every active lane of each
+// configuration in lockstep on the compiled program.
+func (c *Controller) gangLockstep(ce CycleEngine, ctx context.Context, stores []map[string][]int64) ([]GangLane, error) {
+	lanes := len(stores)
+	out := make([]GangLane, lanes)
+	active := make([]bool, lanes)
+	for l := range out {
+		out[l] = GangLane{Exec: ExecResult{Completed: true}, Memories: stores[l]}
+		active[l] = true
+	}
+	var interrupt func() bool
+	if ctx != nil {
+		interrupt = func() bool { return ctx.Err() != nil }
+	}
+	cur := c.design.RTG.Start
+	for steps := 0; cur != ""; steps++ {
+		if steps >= c.opts.MaxConfigs {
+			return out, fmt.Errorf("rtg: %s: reconfiguration bound %d exceeded (cycle in RTG?)",
+				c.design.RTG.Name, c.opts.MaxConfigs)
+		}
+		cfg, ok := c.design.RTG.FindConfiguration(cur)
+		if !ok {
+			return out, fmt.Errorf("rtg: unknown configuration %q", cur)
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return out, fmt.Errorf("rtg: %s: canceled before configuration %q: %w",
+				c.design.RTG.Name, cur, ctx.Err())
+		}
+		inst, err := c.cycleInstance(ce, cfg, lanes)
+		if err != nil {
+			return out, fmt.Errorf("rtg: configuration %q: %w", cfg.ID, err)
+		}
+		running := 0
+		for l := range active {
+			if !active[l] {
+				continue
+			}
+			init, err := c.configInit(cfg, stores[l])
+			if err != nil {
+				return out, err
+			}
+			inst.Reset(l, init)
+			running++
+		}
+		if running == 0 {
+			break
+		}
+		start := time.Now()
+		if err := inst.Run(c.opts.ClockPeriod, c.opts.MaxCycles, interrupt); err != nil {
+			return out, fmt.Errorf("rtg: configuration %q: %w", cfg.ID, err)
+		}
+		wall := time.Since(start) / time.Duration(running)
+		dp := c.design.Datapaths[cfg.Datapath]
+		for l := range active {
+			if !active[l] {
+				continue
+			}
+			for i := range dp.Operators {
+				op := &dp.Operators[i]
+				if op.Ref != "" {
+					inst.CopyShared(l, op.Ref, stores[l][op.Ref])
+				}
+			}
+			run := c.laneRunRecord(ce, cfg.ID, inst, l, wall)
+			out[l].Exec.Runs = append(out[l].Exec.Runs, *run)
+			out[l].Exec.TotalCycles += run.Cycles
+			if !run.Completed {
+				out[l].Exec.Completed = false
+				active[l] = false
+			}
+		}
+		cur = c.design.RTG.Successor(cur)
+	}
+	return out, nil
 }

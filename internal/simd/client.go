@@ -90,6 +90,31 @@ func (c *Client) Stats(ctx context.Context) (*api.ServerStats, error) {
 	return &st, nil
 }
 
+// Backends fetches /v1/backends: the server's default backend and the
+// full registered-descriptor catalog.
+func (c *Client) Backends(ctx context.Context) (*api.BackendsResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathBackends, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var br api.BackendsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, fmt.Errorf("simd: bad /v1/backends body: %w", err)
+	}
+	if err := api.CheckVersion(br.SchemaVersion); err != nil {
+		return nil, err
+	}
+	return &br, nil
+}
+
 func (c *Client) do(ctx context.Context, path string, req api.Request) (*Result, error) {
 	if req.SchemaVersion == 0 {
 		req.SchemaVersion = api.SchemaVersion

@@ -144,19 +144,22 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc(PathVerify, s.handleRun(api.KindVerify))
 	s.mux.HandleFunc(PathSweep, s.handleRun(api.KindSweep))
 	s.mux.HandleFunc(PathBench, s.handleRun(api.KindBench))
+	s.mux.HandleFunc(PathBackends, s.handleBackends)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	s.mux.HandleFunc(PathHealth, s.handleHealth)
 	return s
 }
 
 // The server's routes. Each run endpoint accepts a POSTed api.Request
-// and fixes its Kind; /statsz returns an api.ServerStats object.
+// and fixes its Kind; /v1/backends returns an api.BackendsResponse;
+// /statsz returns an api.ServerStats object.
 const (
-	PathVerify = "/v1/verify"
-	PathSweep  = "/v1/sweep"
-	PathBench  = "/v1/bench"
-	PathStats  = "/statsz"
-	PathHealth = "/healthz"
+	PathVerify   = "/v1/verify"
+	PathSweep    = "/v1/sweep"
+	PathBench    = "/v1/bench"
+	PathBackends = "/v1/backends"
+	PathStats    = "/statsz"
+	PathHealth   = "/healthz"
 )
 
 // ServeHTTP implements http.Handler.
@@ -424,6 +427,8 @@ func (s *Server) Stats() api.ServerStats {
 		ConfigsPerSec:   snap.ConfigsPerSec,
 		AllocsPerConfig: snap.AllocsPerConfig,
 	}
+	st.Backend = s.cfg.Backend
+	st.Backends = backendInfos()
 	for _, sess := range s.pool.sessions() {
 		ss := sess.Stats()
 		st.Elaborations += ss.Elaborations
@@ -437,6 +442,31 @@ func (s *Server) Stats() api.ServerStats {
 		})
 	}
 	return st
+}
+
+// backendInfos renders the flow registry as wire descriptors, in
+// Backends() order (default first).
+func backendInfos() []api.BackendInfo {
+	infos := flow.Backends()
+	out := make([]api.BackendInfo, len(infos))
+	for i, bi := range infos {
+		out[i] = api.BackendInfo{
+			Name:         bi.Name,
+			Kind:         string(bi.Kind),
+			Desc:         bi.Desc,
+			SupportsGang: bi.SupportsGang,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(api.BackendsResponse{
+		SchemaVersion: api.SchemaVersion,
+		Default:       s.cfg.Backend,
+		Backends:      backendInfos(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

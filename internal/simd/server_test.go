@@ -481,3 +481,41 @@ func TestStatszShape(t *testing.T) {
 		t.Fatalf("post-request stats: %+v", st)
 	}
 }
+
+// TestBackendsEndpoint: GET /v1/backends serves the full descriptor
+// catalog with the server's effective default named, and the /statsz
+// payload carries the same catalog.
+func TestBackendsEndpoint(t *testing.T) {
+	_, client := testServer(t, simd.Config{Backend: "heapref"})
+	br, err := client.Backends(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.SchemaVersion != api.SchemaVersion {
+		t.Fatalf("backends schema version = %d", br.SchemaVersion)
+	}
+	if br.Default != "heapref" {
+		t.Fatalf("default backend = %q, want heapref", br.Default)
+	}
+	byName := map[string]api.BackendInfo{}
+	for _, b := range br.Backends {
+		if b.Name == "" || b.Kind == "" || b.Desc == "" {
+			t.Fatalf("incomplete descriptor: %+v", b)
+		}
+		byName[b.Name] = b
+	}
+	if got := byName["twolevel"]; got.Kind != "event" || got.SupportsGang {
+		t.Fatalf("twolevel descriptor: %+v", got)
+	}
+	if got := byName["compiled"]; got.Kind != "cycle" || !got.SupportsGang {
+		t.Fatalf("compiled descriptor: %+v", got)
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backend != "heapref" || len(st.Backends) != len(br.Backends) {
+		t.Fatalf("statsz backend catalog: backend=%q backends=%d want %d",
+			st.Backend, len(st.Backends), len(br.Backends))
+	}
+}

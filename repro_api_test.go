@@ -39,9 +39,12 @@ func TestPublicAPI(t *testing.T) {
 	if !strings.Contains(progress.String(), "configuration") {
 		t.Fatalf("progress=%q", progress.String())
 	}
-	names := repro.Backends()
-	if names[0] != repro.DefaultBackend {
-		t.Fatalf("Backends()=%v", names)
+	infos := repro.Backends()
+	if infos[0].Name != repro.DefaultBackend || infos[0].Kind != "event" {
+		t.Fatalf("Backends()=%v", infos)
+	}
+	if names := repro.BackendNames(); names[0] != repro.DefaultBackend {
+		t.Fatalf("BackendNames()=%v", names)
 	}
 	if _, err := repro.LookupBackend("heapref"); err != nil {
 		t.Fatal(err)

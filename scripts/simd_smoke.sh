@@ -43,6 +43,17 @@ echo "$SWEEP" | grep -q '"rounds":4'
 echo "$SWEEP" | grep -q '"elaborations":'
 [ "$(echo "$SWEEP" | grep -c '"record":"config"')" -ge 4 ]
 
+echo "== backends: descriptor catalog with the server default =="
+BACKENDS=$(curl -fsS "$BASE/v1/backends")
+echo "$BACKENDS"
+echo "$BACKENDS" | grep -q '"schema_version":1'
+echo "$BACKENDS" | grep -q '"default":"twolevel"'
+echo "$BACKENDS" | grep -q '"name":"twolevel"'
+echo "$BACKENDS" | grep -q '"kind":"event"'
+echo "$BACKENDS" | grep -q '"name":"compiled"'
+echo "$BACKENDS" | grep -q '"kind":"cycle"'
+echo "$BACKENDS" | grep -q '"supports_gang":true'
+
 echo "== statsz: pool and throughput counters =="
 STATS=$(curl -fsS "$BASE/statsz")
 echo "$STATS"
