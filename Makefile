@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test quickstart simd smoke race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
+.PHONY: build test quickstart simd smoke scenario-smoke race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,18 @@ simd:
 # sweep via curl, /statsz shape, SIGTERM drain. Mirrors the CI smoke job.
 smoke:
 	sh scripts/simd_smoke.sh
+
+# scenario-smoke mirrors the CI scenario step: record a fault-injection
+# campaign, replay the trace bit-identically (same backend and across
+# backends), then counterfactually swap the backend — which must
+# preserve every verdict and digest (docs/SCENARIOS.md).
+scenario-smoke:
+	@tmp=$$(mktemp) && \
+	$(GO) run ./cmd/testsuite -scenario examples/scenarios/erasure-recover.json -trace $$tmp && \
+	$(GO) run ./cmd/testsuite -replay $$tmp && \
+	$(GO) run ./cmd/testsuite -replay $$tmp -backend compiled && \
+	$(GO) run ./cmd/testsuite -replay $$tmp -counterfactual backend=heapref; \
+	rc=$$?; rm -f $$tmp; exit $$rc
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/hades/... \
@@ -86,4 +98,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint test quickstart smoke race cover bench
+ci: build vet fmt-check lint test quickstart smoke scenario-smoke race cover bench

@@ -13,6 +13,11 @@
 //	hsim -design build/ -backend heapref
 //	hsim -design build/ -repeat 16        # reset-and-replay 16 rounds
 //	hsim -workload newton,n=1024 -backend heapref -vcd waves
+//
+// The scenario engine runs here too (docs/SCENARIOS.md):
+//
+//	hsim -scenario examples/scenarios/erasure-recover.json -trace run.jsonl
+//	hsim -replay run.jsonl -counterfactual backend=compiled
 package main
 
 import (
@@ -43,11 +48,17 @@ func run() error {
 		mems      = cliutil.KVStrings{}
 		workload  cliutil.WorkloadSpec
 		ff        cliutil.FlowFlags
+		sf        cliutil.ScenarioFlags
 	)
 	flag.Var(mems, "mem", "shared memory contents: name=file (repeatable)")
 	workload.Register(nil)
 	ff.Register(nil)
+	sf.Register(nil)
 	flag.Parse()
+
+	if sf.Active() {
+		return sf.Execute(nil, &ff, os.Stdout)
+	}
 
 	opts := append(ff.Options(), flow.WithObserver(flow.NewProgressObserver(os.Stdout)))
 	if *vcdPrefix != "" {

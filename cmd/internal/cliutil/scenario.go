@@ -1,0 +1,186 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/flow"
+	"repro/internal/hades"
+	"repro/internal/scenario"
+)
+
+// ScenarioFlags bundles the scenario-engine flags shared by the tools
+// that run campaigns (testsuite, hsim): run a declarative spec, record
+// its trace, replay a recorded trace, or re-run it counterfactually
+// with one dimension substituted.
+type ScenarioFlags struct {
+	Scenario       string // -scenario: spec file to run
+	Trace          string // -trace: record the run's JSONL trace here
+	Replay         string // -replay: trace file to re-execute
+	Counterfactual string // -counterfactual: dimension to substitute
+}
+
+// Register installs the flags on fs (the default flag.CommandLine when
+// fs is nil).
+func (f *ScenarioFlags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.Scenario, "scenario", "",
+		"run a declarative scenario spec file (see docs/SCENARIOS.md and examples/scenarios/)")
+	fs.StringVar(&f.Trace, "trace", "",
+		"record the scenario or replay run as a JSONL trace file")
+	fs.StringVar(&f.Replay, "replay", "",
+		"re-execute a recorded trace file and require it bit-identical")
+	fs.StringVar(&f.Counterfactual, "counterfactual", "",
+		"with -replay: substitute one dimension (backend=<name>, width=<n>, faults=off) and report the paired diff")
+}
+
+// Active reports whether a scenario-engine mode was selected.
+func (f *ScenarioFlags) Active() bool { return f.Scenario != "" || f.Replay != "" }
+
+// ParseSubstitution parses a -counterfactual value.
+func ParseSubstitution(s string) (scenario.Substitution, error) {
+	var sub scenario.Substitution
+	key, val, _ := strings.Cut(s, "=")
+	switch key {
+	case "backend":
+		if val == "" {
+			return sub, fmt.Errorf("counterfactual backend needs a name (have: %s)", strings.Join(flow.BackendNames(), ", "))
+		}
+		sub.Backend = val
+	case "width":
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return sub, fmt.Errorf("counterfactual width needs a positive integer, got %q", val)
+		}
+		sub.Width = n
+	case "faults":
+		if val != "off" {
+			return sub, fmt.Errorf("counterfactual faults supports only faults=off, got %q", s)
+		}
+		sub.FaultsOff = true
+	default:
+		return sub, fmt.Errorf("unknown counterfactual dimension %q (have: backend=<name>, width=<n>, faults=off)", s)
+	}
+	return sub, nil
+}
+
+// FlagWasSet reports whether a flag was explicitly set on the command
+// line (fs nil means the default flag.CommandLine). Used to distinguish
+// "the user chose this backend" from the registered default, so a
+// scenario spec's own backend wins unless overridden.
+func FlagWasSet(fs *flag.FlagSet, name string) bool {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Execute runs the selected scenario-engine mode — spec run, replay, or
+// counterfactual — under the shared flow flags, writing the report to
+// out. The -backend flag overrides the spec's (or trace's) backend only
+// when explicitly set. A failing campaign, a diverging replay, or a
+// backend-substituted counterfactual that changes any verdict returns
+// an error.
+func (f *ScenarioFlags) Execute(fs *flag.FlagSet, ff *FlowFlags, out io.Writer) error {
+	if f.Scenario != "" && f.Replay != "" {
+		return fmt.Errorf("-scenario and -replay are mutually exclusive")
+	}
+	if f.Counterfactual != "" && f.Replay == "" {
+		return fmt.Errorf("-counterfactual requires -replay <trace>")
+	}
+	opts := scenario.Options{
+		Flow: []flow.Option{
+			flow.WithClock(hades.Time(ff.Period)),
+			flow.WithMaxCycles(ff.Cycles),
+		},
+	}
+	if FlagWasSet(fs, "backend") {
+		opts.Backend = ff.Backend
+	}
+	ctx := context.Background()
+
+	var trace io.Writer
+	if f.Trace != "" {
+		tf, err := os.Create(f.Trace)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		trace = tf
+	}
+
+	if f.Scenario != "" {
+		sc, err := scenario.LoadFile(f.Scenario, nil)
+		if err != nil {
+			return err
+		}
+		res, err := sc.Run(ctx, opts, trace)
+		if res != nil {
+			res.Report(out)
+		}
+		if err != nil {
+			return err
+		}
+		if !res.OK() {
+			return fmt.Errorf("scenario %q failed (%d/%d passed, %d policy violations)",
+				res.Header.Scenario, res.Summary.Passed, res.Summary.Cases, res.Summary.PolicyViolations)
+		}
+		return nil
+	}
+
+	tr, err := scenario.ReadTraceFile(f.Replay)
+	if err != nil {
+		return err
+	}
+	if f.Counterfactual != "" {
+		sub, err := ParseSubstitution(f.Counterfactual)
+		if err != nil {
+			return err
+		}
+		cf, err := scenario.Counterfactual(ctx, tr, opts, sub, trace)
+		if err != nil {
+			return err
+		}
+		cf.Report(out)
+		if cf.Variant.Summary.Error != "" {
+			return fmt.Errorf("counterfactual run errored: %s", cf.Variant.Summary.Error)
+		}
+		// A backend swap must preserve everything; the other dimensions
+		// are exploratory and report rather than fail.
+		if sub.Backend != "" && (!cf.VerdictsSame || !cf.OutcomesSame || !cf.MemoriesSame) {
+			return fmt.Errorf("counterfactual backend swap changed outcomes (the backends are pinned equivalent; this is a bug)")
+		}
+		return nil
+	}
+
+	res, err := scenario.Replay(ctx, tr, opts, trace)
+	if res != nil {
+		res.Report(out)
+	}
+	if err != nil {
+		return err
+	}
+	strict := opts.Backend == "" || opts.Backend == tr.Header.Backend
+	if diffs := scenario.CompareTraces(tr.Cases, res.Cases, strict); len(diffs) != 0 {
+		for _, d := range diffs {
+			fmt.Fprintln(out, "  diff:", d)
+		}
+		return fmt.Errorf("replay diverged from the recorded trace in %d places", len(diffs))
+	}
+	fmt.Fprintf(out, "replay matches the recorded trace (%d cases, backend %s)\n",
+		len(res.Cases), res.Header.Backend)
+	return nil
+}

@@ -1,0 +1,130 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestParseSubstitution(t *testing.T) {
+	sub, err := ParseSubstitution("backend=compiled")
+	if err != nil || sub.Backend != "compiled" {
+		t.Fatalf("backend: %+v, %v", sub, err)
+	}
+	sub, err = ParseSubstitution("width=16")
+	if err != nil || sub.Width != 16 {
+		t.Fatalf("width: %+v, %v", sub, err)
+	}
+	sub, err = ParseSubstitution("faults=off")
+	if err != nil || !sub.FaultsOff {
+		t.Fatalf("faults: %+v, %v", sub, err)
+	}
+	for _, bad := range []string{"", "backend=", "width=x", "width=-2", "faults=on", "seed=9"} {
+		if _, err := ParseSubstitution(bad); err == nil {
+			t.Errorf("%q: expected error", bad)
+		}
+	}
+}
+
+// writeExampleSpec materializes an embedded spec into a temp dir.
+func writeExampleSpec(t *testing.T, name string) string {
+	t.Helper()
+	b, ok := scenario.ExampleSpec(name)
+	if !ok {
+		t.Fatalf("no embedded spec %s", name)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newScenarioFlagSet(t *testing.T, args ...string) (*ScenarioFlags, *FlowFlags, *flag.FlagSet) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var sf ScenarioFlags
+	var ff FlowFlags
+	sf.Register(fs)
+	ff.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &sf, &ff, fs
+}
+
+// The full CLI loop: run a spec with -trace, replay the trace, then a
+// counterfactual backend swap — all through the shared Execute path the
+// testsuite and hsim commands call.
+func TestScenarioFlagsRunReplayCounterfactual(t *testing.T) {
+	spec := writeExampleSpec(t, "erasure-fail.json")
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+
+	sf, ff, fs := newScenarioFlagSet(t, "-scenario", spec, "-trace", tracePath)
+	var out bytes.Buffer
+	if err := sf.Execute(fs, ff, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok=true") {
+		t.Fatalf("run report:\n%s", out.String())
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+
+	sf, ff, fs = newScenarioFlagSet(t, "-replay", tracePath)
+	out.Reset()
+	if err := sf.Execute(fs, ff, &out); err != nil {
+		t.Fatalf("replay: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay matches the recorded trace") {
+		t.Fatalf("replay report:\n%s", out.String())
+	}
+
+	sf, ff, fs = newScenarioFlagSet(t, "-replay", tracePath, "-counterfactual", "backend=compiled")
+	out.Reset()
+	if err := sf.Execute(fs, ff, &out); err != nil {
+		t.Fatalf("counterfactual: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verdicts-same true") {
+		t.Fatalf("counterfactual report:\n%s", out.String())
+	}
+}
+
+func TestScenarioFlagsExplicitBackendWins(t *testing.T) {
+	spec := writeExampleSpec(t, "erasure-fail.json")
+	tracePath := filepath.Join(t.TempDir(), "run.jsonl")
+	sf, ff, fs := newScenarioFlagSet(t, "-scenario", spec, "-trace", tracePath, "-backend", "compiled")
+	var out bytes.Buffer
+	if err := sf.Execute(fs, ff, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	tr, err := scenario.ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Backend != "compiled" {
+		t.Fatalf("explicit -backend ignored: trace ran on %q", tr.Header.Backend)
+	}
+}
+
+func TestScenarioFlagsRejectsBadCombos(t *testing.T) {
+	var out bytes.Buffer
+	sf, ff, fs := newScenarioFlagSet(t, "-scenario", "a.json", "-replay", "b.jsonl")
+	if err := sf.Execute(fs, ff, &out); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("scenario+replay: %v", err)
+	}
+	sf, ff, fs = newScenarioFlagSet(t, "-counterfactual", "faults=off")
+	if sf.Active() {
+		t.Fatal("counterfactual alone must not activate the engine")
+	}
+	sf, ff, fs = newScenarioFlagSet(t, "-replay", "b.jsonl", "-counterfactual", "nope=1")
+	if err := sf.Execute(fs, ff, &out); err == nil {
+		t.Fatal("bad counterfactual must error")
+	}
+}

@@ -15,6 +15,13 @@
 //	testsuite -backend heapref # run the whole suite on the heap kernel
 //	testsuite -table1         # reproduce Table I (plus the newer families)
 //	testsuite -pixels 65536   # FDCT cases over a larger image
+//
+// Scenario engine (docs/SCENARIOS.md):
+//
+//	testsuite -scenario examples/scenarios/mixed-poisson.json -trace run.jsonl
+//	testsuite -replay run.jsonl                      # must be bit-identical
+//	testsuite -replay run.jsonl -backend compiled    # replay on another backend
+//	testsuite -replay run.jsonl -counterfactual faults=off
 package main
 
 import (
@@ -44,10 +51,16 @@ func run() error {
 		workDir = flag.String("workdir", "", "write XML/dot/java/hds/mem artifacts here")
 		rf      cliutil.RunnerFlags
 		ff      cliutil.FlowFlags
+		sf      cliutil.ScenarioFlags
 	)
 	rf.Register(nil)
 	ff.Register(nil)
+	sf.Register(nil)
 	flag.Parse()
+
+	if sf.Active() {
+		return sf.Execute(nil, &ff, os.Stdout)
+	}
 
 	opts := core.Options{
 		WorkDir:       *workDir,

@@ -1,0 +1,83 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDistJSONShapes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want func(d Dist) bool
+	}{
+		{`3`, func(d Dist) bool { return d.Const != nil && *d.Const == 3 }},
+		{`{"const": 7}`, func(d Dist) bool { return d.Const != nil && *d.Const == 7 }},
+		{`{"uniform": {"min": 2, "max": 9}}`, func(d Dist) bool {
+			return d.Uniform != nil && d.Uniform.Min == 2 && d.Uniform.Max == 9
+		}},
+		{`{"choice": [4, 8, 16]}`, func(d Dist) bool { return len(d.Choice) == 3 && d.Choice[2] == 16 }},
+	}
+	for _, c := range cases {
+		var d Dist
+		if err := json.Unmarshal([]byte(c.in), &d); err != nil {
+			t.Fatalf("unmarshal %s: %v", c.in, err)
+		}
+		if !c.want(d) {
+			t.Errorf("unmarshal %s: got %+v", c.in, d)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("validate %s: %v", c.in, err)
+		}
+	}
+}
+
+func TestDistMarshalConstShorthand(t *testing.T) {
+	n := 5
+	b, err := json.Marshal(Dist{Const: &n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "5" {
+		t.Fatalf("const dist marshals to %s, want bare 5", b)
+	}
+	var d Dist
+	if err := json.Unmarshal(b, &d); err != nil || d.Const == nil || *d.Const != 5 {
+		t.Fatalf("round trip: %+v, %v", d, err)
+	}
+}
+
+func TestDistValidateRejectsAmbiguous(t *testing.T) {
+	n := 1
+	bad := []Dist{
+		{},
+		{Const: &n, Choice: []int{1, 2}},
+		{Uniform: &IntRange{Min: 5, Max: 2}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("dist %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDecodeScenarioSpec(t *testing.T) {
+	spec, err := DecodeScenarioSpec(strings.NewReader(`{
+		"schema_version": 1, "name": "s", "seed": 1, "cases": 2,
+		"mix": [{"family": "hamming", "params": {"words": 16}}],
+		"arrival": {"kind": "poisson", "rate": 100},
+		"faults": {"rate": 0.1, "policy": "observe"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "s" || spec.Cases != 2 || len(spec.Mix) != 1 {
+		t.Fatalf("bad decode: %+v", spec)
+	}
+	if d := spec.Mix[0].Params["words"]; d.Const == nil || *d.Const != 16 {
+		t.Fatalf("bad params decode: %+v", d)
+	}
+	if _, err := DecodeScenarioSpec(strings.NewReader(`{"schema_version": 99, "name": "x"}`)); err == nil {
+		t.Fatal("future schema_version must be rejected")
+	}
+}

@@ -318,3 +318,34 @@ func TestCompiledGangBeatsSequential(t *testing.T) {
 		})
 	}
 }
+
+// TestCampaignScenarioExecutes runs the mixed-workload embedded-spec
+// campaign once end to end: the measure must carry real simulated work
+// from every case in the spec.
+func TestCampaignScenarioExecutes(t *testing.T) {
+	var sc *Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "campaign-mixed-poisson" {
+			s := s
+			sc = &s
+			break
+		}
+	}
+	if sc == nil {
+		t.Fatal("campaign-mixed-poisson not in the registry")
+	}
+	if sc.Pinned {
+		t.Fatal("campaign scenarios must stay unpinned (no baselines for them)")
+	}
+	run, err := sc.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Configs < 10 || m.Cycles == 0 || m.Events == 0 || m.Wall <= 0 {
+		t.Fatalf("campaign measure: %+v", m)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/hades"
 	"repro/internal/netlist"
+	"repro/internal/scenario"
 	"repro/internal/workloads"
 	"repro/internal/xmlspec"
 )
@@ -55,6 +57,7 @@ func ScenariosFor(backend string) []Scenario {
 	}
 	list = append(list, reconfigScenarios(backend)...)
 	list = append(list, gangScenarios(backend)...)
+	list = append(list, campaignScenarios(backend)...)
 
 	// Every registered workload family's bench presets, end to end
 	// through the RTG; wall time is the simulation only. Width presets
@@ -458,6 +461,56 @@ func gangScenarios(backend string) []Scenario {
 					}
 					m.Wall = time.Since(start)
 					return m, nil
+				}, nil
+			},
+		})
+	}
+	return list
+}
+
+// --- scenario-campaign scenarios --------------------------------------------
+
+// campaignScenarios derives benchmarks from the embedded scenario specs
+// (the same pinned specs checked in under examples/scenarios): one
+// timed iteration runs the whole campaign — seeded expansion, prepared
+// designs reused across repeated draws, faulted reseeding, per-case
+// verification — so configs/sec measures the scenario engine end to
+// end rather than a single kernel. The specs are validated by expanding
+// once in Prepare; campaigns stay unpinned because their wall time
+// folds in compile and verify work, making them investigations rather
+// than kernel regression gates.
+func campaignScenarios(backend string) []Scenario {
+	var list []Scenario
+	for _, name := range scenario.ExampleNames() {
+		name := name
+		short := strings.TrimSuffix(name, ".json")
+		list = append(list, Scenario{
+			Name: "campaign-" + short,
+			Desc: "full " + short + " scenario campaign per iteration (examples/scenarios)",
+			Prepare: func() (RunFunc, error) {
+				sc, err := scenario.LoadExample(name, nil)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := sc.Expand(); err != nil {
+					return nil, err
+				}
+				opts := scenario.Options{Backend: backend}
+				return func() (Measure, error) {
+					start := time.Now()
+					res, err := sc.Run(context.Background(), opts, nil)
+					if err != nil {
+						return Measure{}, err
+					}
+					if !res.OK() {
+						return Measure{}, fmt.Errorf("bench: campaign %s went red: %+v", short, res.Summary)
+					}
+					return Measure{
+						Events:  res.Summary.Events,
+						Cycles:  res.Summary.Cycles,
+						Configs: res.Summary.Configs,
+						Wall:    time.Since(start),
+					}, nil
 				}, nil
 			},
 		})

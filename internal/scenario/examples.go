@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/workloads"
+)
+
+// The example specs ship twice: embedded here (so the bench harness and
+// the server tests run them without touching the filesystem) and as
+// checked-in files under examples/scenarios/ (so `testsuite -scenario`
+// has something to point at). A repo-root test pins the two copies
+// byte-identical.
+
+//go:embed specs/*.json
+var specFS embed.FS
+
+// ExampleNames lists the embedded example specs, sorted.
+func ExampleNames() []string {
+	entries, _ := specFS.ReadDir("specs")
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExampleSpec returns the raw bytes of an embedded example spec (the
+// file name, e.g. "erasure-recover.json").
+func ExampleSpec(name string) ([]byte, bool) {
+	b, err := specFS.ReadFile("specs/" + name)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// LoadExample loads an embedded example spec against a registry (nil
+// means the default registry).
+func LoadExample(name string, reg *workloads.Registry) (*Scenario, error) {
+	b, ok := ExampleSpec(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown example spec %q (have: %s)",
+			name, strings.Join(ExampleNames(), ", "))
+	}
+	return Parse(bytes.NewReader(b), reg)
+}

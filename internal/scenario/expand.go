@@ -1,0 +1,313 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/workloads"
+)
+
+// CaseRun is one materialized case of an expanded scenario: the
+// resolved workload, its arrival time, and the planned fault
+// injections. The clean case (inputs + reference expectations) is kept
+// so the runner can compute both the model-consistency verdict on the
+// faulted inputs and the fault outcome against the clean reference.
+type CaseRun struct {
+	Index     int
+	Family    string
+	Values    workloads.Values // fully resolved
+	Params    string           // canonical Values.String()
+	ArrivalNS int64
+	Policy    string
+	Faults    []api.FaultRecord
+
+	Workload workloads.Workload
+	Clean    *workloads.Case
+}
+
+// Key is the prepared-design cache key: two cases with the same key
+// share one compiled, elaborated design (reseeded per case).
+func (cr *CaseRun) Key() string { return cr.Family + "|" + cr.Params }
+
+// Expand materializes the scenario's deterministic case sequence: for
+// each case it picks a family from the weighted mix, draws every
+// parameter from its distribution, samples the arrival process, builds
+// the clean case, and plans the fault injections. Same spec + same seed
+// always yields the same sequence.
+func (sc *Scenario) Expand() ([]*CaseRun, error) {
+	var (
+		mixR    = subStream(sc.Spec.Seed, "mix")
+		paramsR = subStream(sc.Spec.Seed, "params")
+		faultsR = subStream(sc.Spec.Seed, "faults")
+		arrive  = arrivalSampler{spec: sc.Spec.Arrival, r: subStream(sc.Spec.Seed, "arrival")}
+	)
+	total := 0.0
+	for _, m := range sc.mix {
+		total += m.weight
+	}
+	out := make([]*CaseRun, 0, sc.Spec.Cases)
+	for i := 0; i < sc.Spec.Cases; i++ {
+		entry := pickMix(sc.mix, total, mixR)
+		v := workloads.Values{}
+		for _, pd := range entry.dists {
+			v[pd.name] = drawDist(pd.d, paramsR)
+		}
+		rv, err := workloads.Resolve(entry.w, v)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s: case %d: %w", sc.Spec.Name, i, err)
+		}
+		clean, err := workloads.BuildWorkload(entry.w, rv)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s: case %d: %w", sc.Spec.Name, i, err)
+		}
+		cr := &CaseRun{
+			Index:     i,
+			Family:    entry.w.Name(),
+			Values:    rv,
+			Params:    rv.String(),
+			ArrivalNS: arrive.next(),
+			Workload:  entry.w,
+			Clean:     clean,
+		}
+		if f := sc.Spec.Faults; f != nil {
+			cr.Policy = f.Policy
+			if cr.Policy == "" {
+				cr.Policy = api.PolicyObserve
+			}
+			cr.Faults, err = planFaults(f, cr, faultsR)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %s: case %d: %w", sc.Spec.Name, i, err)
+			}
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}
+
+func pickMix(mix []mixEntry, total float64, r *rand.Rand) *mixEntry {
+	u := r.Float64() * total
+	cum := 0.0
+	for i := range mix {
+		cum += mix[i].weight
+		if u < cum {
+			return &mix[i]
+		}
+	}
+	return &mix[len(mix)-1]
+}
+
+func drawDist(d api.Dist, r *rand.Rand) int {
+	switch {
+	case d.Const != nil:
+		return *d.Const
+	case d.Uniform != nil:
+		return d.Uniform.Min + r.Intn(d.Uniform.Max-d.Uniform.Min+1)
+	default:
+		return d.Choice[r.Intn(len(d.Choice))]
+	}
+}
+
+// arrivalSampler accumulates virtual arrival time across cases.
+type arrivalSampler struct {
+	spec *api.ArrivalSpec
+	r    *rand.Rand
+	now  int64
+}
+
+func (a *arrivalSampler) next() int64 {
+	if a.spec == nil {
+		return 0
+	}
+	switch a.spec.Kind {
+	case api.ArrivalDeterministic:
+		a.now += a.spec.IntervalNS
+	case api.ArrivalPoisson:
+		a.now += int64(expDraw(a.r) / a.spec.Rate * 1e9)
+	case api.ArrivalGamma:
+		// Gamma(shape, 1) scaled so the mean inter-arrival stays 1/rate.
+		a.now += int64(gammaDraw(a.r, a.spec.Shape) / (a.spec.Rate * a.spec.Shape) * 1e9)
+	}
+	return a.now
+}
+
+// faultSite is one (array, word) flip candidate.
+type faultSite struct {
+	array string
+	word  int
+}
+
+// planFaults draws this case's bit flips from the fault stream. For the
+// observe policy, candidates are every word of the targeted arrays (the
+// plan's list, or every input array). For must-recover, candidates are
+// exactly the erased symbol positions of the erasure stimulus — flips
+// the (k+1, k) MDS decoder must absorb; for must-fail they are the
+// survivor positions, whose flips must propagate into the decoded
+// output. The must-* policies guarantee at least one flip per case so
+// the policy check is never vacuous.
+func planFaults(plan *api.FaultPlan, cr *CaseRun, r *rand.Rand) ([]api.FaultRecord, error) {
+	candidates, err := faultCandidates(plan, cr)
+	if err != nil {
+		return nil, err
+	}
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	bits := plan.Bits
+	if bits == 0 {
+		bits = 8
+	}
+	var recs []api.FaultRecord
+	flipped := map[faultSite]bool{}
+	flip := func(s faultSite) {
+		flipped[s] = true
+		before := int64(0)
+		if in := cr.Clean.Inputs[s.array]; s.word < len(in) {
+			before = in[s.word]
+		}
+		bit := r.Intn(bits)
+		recs = append(recs, api.FaultRecord{
+			Array: s.array, Word: s.word, Bit: bit,
+			Before: before, After: before ^ (1 << bit),
+		})
+	}
+	for _, s := range candidates {
+		if plan.MaxFlips > 0 && len(recs) >= plan.MaxFlips {
+			break
+		}
+		if r.Float64() < plan.Rate {
+			flip(s)
+		}
+	}
+	if len(recs) == 0 && (plan.Policy == api.PolicyMustRecover || plan.Policy == api.PolicyMustFail) {
+		flip(candidates[r.Intn(len(candidates))])
+	}
+	return recs, nil
+}
+
+// faultCandidates lists the case's flip sites in deterministic order.
+func faultCandidates(plan *api.FaultPlan, cr *CaseRun) ([]faultSite, error) {
+	if plan.Policy == api.PolicyMustRecover || plan.Policy == api.PolicyMustFail {
+		return erasureCandidates(plan.Policy, cr)
+	}
+	arrays := plan.Arrays
+	if len(arrays) == 0 {
+		for name := range cr.Clean.Inputs {
+			arrays = append(arrays, name)
+		}
+		sort.Strings(arrays)
+	}
+	var out []faultSite
+	for _, name := range arrays {
+		depth, ok := cr.Clean.ArraySizes[name]
+		if !ok {
+			return nil, fmt.Errorf("fault plan targets unknown array %q of %s (have: %s)",
+				name, cr.Family, arrayNames(cr.Clean.ArraySizes))
+		}
+		for w := 0; w < depth; w++ {
+			out = append(out, faultSite{array: name, word: w})
+		}
+	}
+	return out, nil
+}
+
+// erasureCandidates splits the erasure stimulus into erased and
+// survivor symbol positions. Stripe s of the "in" array holds k+1
+// received symbols at [s*(k+1), s*(k+1)+k]; epos[s] names the erased
+// position the decoder reconstructs, so flips there are invisible to
+// the output (must recover) and flips anywhere else reach it (must
+// fail).
+func erasureCandidates(policy string, cr *CaseRun) ([]faultSite, error) {
+	k := cr.Values["k"]
+	n := cr.Values["stripes"]
+	epos := cr.Clean.Inputs["epos"]
+	if cr.Family != "erasure" || k < 2 || n < 1 || len(epos) < n {
+		return nil, fmt.Errorf("policy %q needs an erasure case with epos stimulus, got %s(%s)",
+			policy, cr.Family, cr.Params)
+	}
+	var out []faultSite
+	for s := 0; s < n; s++ {
+		base := s * (k + 1)
+		e := int(epos[s])
+		for d := 0; d <= k; d++ {
+			erased := d == e
+			if erased == (policy == api.PolicyMustRecover) {
+				out = append(out, faultSite{array: "in", word: base + d})
+			}
+		}
+	}
+	return out, nil
+}
+
+func arrayNames(sizes map[string]int) string {
+	names := make([]string, 0, len(sizes))
+	for name := range sizes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// applyFaults clones the targeted arrays (padded to full depth) and
+// applies every flip; untouched arrays are shared with the clean case.
+func applyFaults(clean map[string][]int64, sizes map[string]int, faults []api.FaultRecord) map[string][]int64 {
+	out := make(map[string][]int64, len(clean))
+	for name, words := range clean {
+		out[name] = words
+	}
+	for _, f := range faults {
+		words := out[f.Array]
+		if len(words) < sizes[f.Array] || sameSlice(words, clean[f.Array]) {
+			padded := make([]int64, sizes[f.Array])
+			copy(padded, words)
+			words = padded
+			out[f.Array] = words
+		}
+		words[f.Word] = f.After
+	}
+	return out
+}
+
+// sameSlice reports whether two slices share their backing array start.
+func sameSlice(a, b []int64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// checkFaultRecords validates recorded flips against a rebuilt clean
+// case — the replay-path guard that a trace matches the registry it is
+// replayed against.
+func checkFaultRecords(cr *CaseRun, faults []api.FaultRecord) error {
+	for _, f := range faults {
+		depth, ok := cr.Clean.ArraySizes[f.Array]
+		if !ok {
+			return fmt.Errorf("fault targets unknown array %q", f.Array)
+		}
+		if f.Word < 0 || f.Word >= depth {
+			return fmt.Errorf("fault word %d outside array %q depth %d", f.Word, f.Array, depth)
+		}
+		if f.Bit < 0 || f.Bit > 63 {
+			return fmt.Errorf("fault bit %d outside [0, 63]", f.Bit)
+		}
+		before := int64(0)
+		if in := cr.Clean.Inputs[f.Array]; f.Word < len(in) {
+			before = in[f.Word]
+		}
+		if f.Before != before {
+			return fmt.Errorf("fault %s[%d]: trace records before=%d but the rebuilt case has %d (trace does not match this registry)",
+				f.Array, f.Word, f.Before, before)
+		}
+		if f.After != f.Before^(1<<f.Bit) {
+			return fmt.Errorf("fault %s[%d]: after=%d is not before=%d with bit %d flipped",
+				f.Array, f.Word, f.After, f.Before, f.Bit)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report renders the campaign outcome as the CLI's human-readable
+// summary: one line per case, then the aggregate.
+func (r *Result) Report(w io.Writer) {
+	fmt.Fprintf(w, "scenario %q seed %d backend %s: %d cases\n",
+		r.Header.Scenario, r.Header.Seed, r.Header.Backend, r.Header.Cases)
+	for i := range r.Cases {
+		tc := &r.Cases[i]
+		status := "PASS"
+		switch {
+		case !tc.Completed:
+			status = "INCOMPLETE"
+		case !tc.Passed:
+			status = "FAIL"
+		}
+		var cycles uint64
+		for _, c := range tc.Configs {
+			cycles += c.Cycles
+		}
+		fmt.Fprintf(w, "  [%s] case %2d t=%-12s %s(%s) configs=%d cycles=%d",
+			status, tc.Index, fmt.Sprintf("%dns", tc.ArrivalNS), tc.Family, tc.Params, len(tc.Configs), cycles)
+		if len(tc.Faults) > 0 || tc.FaultOutcome != "" {
+			fmt.Fprintf(w, " faults=%d outcome=%s", len(tc.Faults), orDash(tc.FaultOutcome))
+			if tc.Policy != "" {
+				fmt.Fprintf(w, " policy=%s ok=%v", tc.Policy, tc.PolicyOK)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	s := &r.Summary
+	fmt.Fprintf(w, "  %d/%d passed", s.Passed, s.Cases)
+	if s.FaultsInjected > 0 {
+		fmt.Fprintf(w, ", %d faults (%d recovered, %d diverged, %d policy violations)",
+			s.FaultsInjected, s.Recovered, s.Diverged, s.PolicyViolations)
+	}
+	fmt.Fprintf(w, ", %d configs, %d cycles, %d events", s.Configs, s.Cycles, s.Events)
+	if s.Error != "" {
+		fmt.Fprintf(w, ", ERROR: %s", s.Error)
+	}
+	fmt.Fprintf(w, " => ok=%v\n", s.OK)
+}

@@ -1,0 +1,357 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/api"
+	"repro/internal/flow"
+	"repro/internal/rtg"
+	"repro/internal/workloads"
+)
+
+// Options configure a scenario run (and a replay or counterfactual,
+// which reuse the same execution path).
+type Options struct {
+	// Backend selects the simulator backend; "" uses the spec's Backend,
+	// then the flow default.
+	Backend string
+	// Width overrides the datapath width; 0 uses the spec's Width, then
+	// the compiler default.
+	Width int
+	// DisableFaults runs the campaign with injection off — the
+	// "faults off" counterfactual dimension.
+	DisableFaults bool
+	// Flow appends extra pipeline options (clock period, cycle caps,
+	// observers). Backend and width come from the fields above.
+	Flow []flow.Option
+	// Registry resolves workload families; nil uses the default.
+	Registry *workloads.Registry
+}
+
+// Result is one executed campaign: the trace records it emitted.
+type Result struct {
+	Header  api.TraceHeader
+	Cases   []api.TraceCase
+	Summary api.TraceSummary
+}
+
+// OK reports a fully green campaign: every case completed, verified,
+// and satisfied its fault policy.
+func (r *Result) OK() bool { return r.Summary.OK }
+
+// Trace views the result as a trace (for CompareTraces and
+// Counterfactual without a round trip through a file).
+func (r *Result) Trace() *Trace {
+	s := r.Summary
+	return &Trace{Header: r.Header, Cases: r.Cases, Summary: &s}
+}
+
+// Run expands the scenario and executes every case in sequence on one
+// backend, streaming the versioned trace records (header, one line per
+// case, trailing summary) to trace as they happen; a nil trace skips
+// recording. The returned Result holds the same records. Designs are
+// prepared once per resolved parameterization and reseeded per case, so
+// repeated draws ride the reconfiguration replay cache. An execution
+// error still writes the trailing summary (with Error set) before
+// returning.
+func (sc *Scenario) Run(ctx context.Context, opts Options, trace io.Writer) (*Result, error) {
+	runs, err := sc.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Backend == "" {
+		opts.Backend = sc.Spec.Backend
+	}
+	if opts.Width == 0 {
+		opts.Width = sc.Spec.Width
+	}
+	return execute(ctx, sc.Spec.Name, sc.Spec.Seed, runs, opts, trace)
+}
+
+// execute drives materialized cases through the flow: the shared tail
+// of Run, Replay and Counterfactual.
+func execute(ctx context.Context, name string, seed int64, runs []*CaseRun, opts Options, trace io.Writer) (*Result, error) {
+	backend := opts.Backend
+	if backend == "" {
+		backend = flow.DefaultBackend
+	}
+	res := &Result{Header: api.TraceHeader{
+		SchemaVersion: api.SchemaVersion,
+		Record:        api.RecordTraceHeader,
+		Scenario:      name,
+		Seed:          seed,
+		Cases:         len(runs),
+		Backend:       backend,
+		Width:         opts.Width,
+		FaultsOff:     opts.DisableFaults,
+	}}
+	var enc *json.Encoder
+	if trace != nil {
+		enc = json.NewEncoder(trace)
+		if err := enc.Encode(res.Header); err != nil {
+			return res, fmt.Errorf("scenario: write trace: %w", err)
+		}
+	}
+	summary := &res.Summary
+	summary.SchemaVersion = api.SchemaVersion
+	summary.Record = api.RecordTraceSummary
+	summary.Scenario = name
+	summary.Cases = len(runs)
+	finish := func(err error) (*Result, error) {
+		if err != nil {
+			summary.Error = err.Error()
+		}
+		summary.OK = err == nil && summary.Failed == 0 && summary.PolicyViolations == 0
+		if enc != nil {
+			if werr := enc.Encode(*summary); werr != nil && err == nil {
+				err = fmt.Errorf("scenario: write trace: %w", werr)
+			}
+		}
+		return res, err
+	}
+
+	pipeOpts := []flow.Option{flow.WithBackend(backend)}
+	if opts.Width > 0 {
+		pipeOpts = append(pipeOpts, flow.WithWidth(opts.Width))
+	}
+	pipe, err := flow.New(append(pipeOpts, opts.Flow...)...)
+	if err != nil {
+		return finish(err)
+	}
+	cache := map[string]*flow.PreparedDesign{}
+
+	for _, cr := range runs {
+		rec, err := runCase(ctx, pipe, cache, cr, opts)
+		if err != nil {
+			return finish(fmt.Errorf("scenario: %s: case %d (%s,%s): %w", name, cr.Index, cr.Family, cr.Params, err))
+		}
+		res.Cases = append(res.Cases, *rec)
+		if enc != nil {
+			if err := enc.Encode(*rec); err != nil {
+				return finish(fmt.Errorf("scenario: write trace: %w", err))
+			}
+		}
+		if rec.Passed {
+			summary.Passed++
+		} else {
+			summary.Failed++
+		}
+		if !rec.PolicyOK {
+			summary.PolicyViolations++
+		}
+		summary.FaultsInjected += len(rec.Faults)
+		switch rec.FaultOutcome {
+		case api.OutcomeRecovered:
+			summary.Recovered++
+		case api.OutcomeDiverged:
+			summary.Diverged++
+		}
+		for _, cfg := range rec.Configs {
+			summary.Configs++
+			summary.Cycles += cfg.Cycles
+			summary.Events += cfg.Events
+		}
+	}
+	return finish(nil)
+}
+
+// runCase executes one materialized case: prepare (or fetch) the
+// design, reseed with the (possibly faulted) inputs, simulate, verify
+// against the golden interpreter plus the reference model on the same
+// inputs, and judge the fault outcome against the clean reference.
+func runCase(ctx context.Context, pipe *flow.Pipeline, cache map[string]*flow.PreparedDesign, cr *CaseRun, opts Options) (*api.TraceCase, error) {
+	pd, ok := cache[cr.Key()]
+	if !ok {
+		var err error
+		pd, err = pipe.PrepareContext(ctx, flow.Source{
+			Name:       cr.Family + "(" + cr.Params + ")",
+			Text:       cr.Clean.Source,
+			Func:       cr.Clean.Func,
+			ArraySizes: cr.Clean.ArraySizes,
+			ScalarArgs: cr.Clean.ScalarArgs,
+			Inputs:     cr.Clean.Inputs,
+			Expected:   cr.Clean.Expected,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cache[cr.Key()] = pd
+	}
+
+	inputs := cr.Clean.Inputs
+	expected := cr.Clean.Expected
+	faults := cr.Faults
+	if opts.DisableFaults {
+		faults = nil
+	}
+	if len(faults) > 0 {
+		inputs = applyFaults(inputs, cr.Clean.ArraySizes, faults)
+		// Under faults the verdict is pure model consistency — the
+		// simulator against the golden interpreter on identical faulted
+		// stimulus. The pure-Go reference pins stay out of it (they are
+		// only guaranteed to match on clean, in-domain inputs) and judge
+		// recovery separately against the clean expectations below.
+		expected = nil
+	}
+	names := make([]string, 0, len(cr.Clean.ArraySizes))
+	for n := range cr.Clean.ArraySizes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		words := make([]int64, cr.Clean.ArraySizes[n])
+		copy(words, inputs[n])
+		if err := pd.SetSeed(n, words); err != nil {
+			return nil, err
+		}
+	}
+
+	sim, err := pd.SimulateContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rec := &api.TraceCase{
+		SchemaVersion: api.SchemaVersion,
+		Record:        api.RecordTraceCase,
+		Index:         cr.Index,
+		Family:        cr.Family,
+		Params:        cr.Params,
+		ArrivalNS:     cr.ArrivalNS,
+		Policy:        cr.Policy,
+		Faults:        faults,
+		Completed:     sim.Completed,
+		MemoryDigest:  digestMemories(sim.Memories),
+		SinkDigest:    digestSinks(sim.Runs),
+	}
+	for _, run := range sim.Runs {
+		rec.Configs = append(rec.Configs, api.TraceConfig{
+			ID: run.ID, Cycles: run.Cycles, Events: run.Events, FinalState: run.FinalState,
+		})
+	}
+	if sim.Completed {
+		c2 := *pd.Compiled()
+		c2.Source.Inputs = inputs
+		c2.Source.Expected = expected
+		v, err := pipe.Verify(&c2, sim)
+		if err != nil {
+			return nil, err
+		}
+		rec.Passed = v.Passed
+	}
+	if len(faults) > 0 {
+		rec.FaultOutcome = faultOutcome(cr.Clean, sim.Memories)
+	}
+	rec.PolicyOK = policyOK(cr.Policy, len(faults), rec)
+	return rec, nil
+}
+
+// faultOutcome compares the faulted run's pure outputs (arrays the
+// reference models but the stimulus does not seed) against the clean
+// expectations: recovered means the fault was absorbed before it
+// reached any output.
+func faultOutcome(clean *workloads.Case, memories map[string][]int64) string {
+	names := make([]string, 0, len(clean.Expected))
+	for name := range clean.Expected {
+		if _, isInput := clean.Inputs[name]; !isInput {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := clean.Expected[name]
+		got := memories[name]
+		for i, w := range want {
+			if i >= len(got) || got[i] != w {
+				return api.OutcomeDiverged
+			}
+		}
+	}
+	return api.OutcomeRecovered
+}
+
+// policyOK judges a case record against its fault policy. With nothing
+// injected (observe at a low rate, or a faults-off counterfactual)
+// there is nothing to judge; failed verdicts are already counted by the
+// summary's Failed.
+func policyOK(policy string, injected int, rec *api.TraceCase) bool {
+	if injected == 0 {
+		return true
+	}
+	switch policy {
+	case api.PolicyMustRecover:
+		return rec.Completed && rec.Passed && rec.FaultOutcome == api.OutcomeRecovered
+	case api.PolicyMustFail:
+		return rec.Completed && rec.Passed && rec.FaultOutcome == api.OutcomeDiverged
+	default:
+		return true
+	}
+}
+
+// digestMemories hashes every final shared memory (sorted by name) into
+// a stable 16-hex-digit FNV-1a digest.
+func digestMemories(memories map[string][]int64) string {
+	names := make([]string, 0, len(memories))
+	for name := range memories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := newDigest()
+	for _, name := range names {
+		h.str(name)
+		h.words(memories[name])
+	}
+	return h.hex()
+}
+
+// digestSinks hashes every configuration's recorded sink streams in
+// walk order.
+func digestSinks(runs []rtg.ConfigRun) string {
+	h := newDigest()
+	for _, run := range runs {
+		h.str(run.ID)
+		ids := make([]string, 0, len(run.Sinks))
+		for id := range run.Sinks {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			h.str(id)
+			h.words(run.Sinks[id])
+		}
+	}
+	return h.hex()
+}
+
+type digest uint64
+
+func newDigest() *digest {
+	d := digest(14695981039346656037)
+	return &d
+}
+
+func (d *digest) byte(b byte) {
+	*d = (*d ^ digest(b)) * 1099511628211
+}
+
+func (d *digest) str(s string) {
+	for i := 0; i < len(s); i++ {
+		d.byte(s[i])
+	}
+	d.byte(0)
+}
+
+func (d *digest) words(ws []int64) {
+	for _, w := range ws {
+		u := uint64(w)
+		for i := 0; i < 8; i++ {
+			d.byte(byte(u >> (8 * i)))
+		}
+	}
+	d.byte(1)
+}
+
+func (d *digest) hex() string { return fmt.Sprintf("%016x", uint64(*d)) }

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/workloads"
+)
+
+func runExample(t *testing.T, name string, opts Options) (*Result, *bytes.Buffer) {
+	t.Helper()
+	sc, err := LoadExample(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := sc.Run(context.Background(), opts, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, &buf
+}
+
+// Two same-seed runs of the same spec must produce byte-identical
+// traces — the seed-discipline pin: no wall clock, no global rand, no
+// map-order dependence anywhere in the trace path.
+func TestSameSeedRunsByteIdentical(t *testing.T) {
+	_, a := runExample(t, "mixed-poisson.json", Options{})
+	_, b := runExample(t, "mixed-poisson.json", Options{})
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed traces differ:\n--- run 1:\n%s\n--- run 2:\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+func TestMixedCampaignPasses(t *testing.T) {
+	res, buf := runExample(t, "mixed-poisson.json", Options{})
+	if !res.OK() {
+		t.Fatalf("mixed campaign not ok: %+v", res.Summary)
+	}
+	if res.Summary.Cases != 10 || res.Summary.Passed != 10 {
+		t.Fatalf("want 10/10 passed, got %+v", res.Summary)
+	}
+	tr, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Cases) != 10 || tr.Summary == nil || !tr.Summary.OK {
+		t.Fatalf("trace round trip: %d cases, summary %+v", len(tr.Cases), tr.Summary)
+	}
+	if diffs := CompareTraces(tr.Cases, res.Cases, true); len(diffs) != 0 {
+		t.Fatalf("trace file differs from in-memory result: %v", diffs)
+	}
+}
+
+// Erasure must-recover: flips land only on erased symbols, so the MDS
+// decoder reconstructs every output word — each case must pass
+// verification AND match the clean reference bit for bit.
+func TestMustRecoverFaultsRecover(t *testing.T) {
+	res, _ := runExample(t, "erasure-recover.json", Options{})
+	if !res.OK() {
+		t.Fatalf("must-recover campaign not ok: %+v", res.Summary)
+	}
+	if res.Summary.FaultsInjected == 0 {
+		t.Fatal("no faults injected")
+	}
+	for _, tc := range res.Cases {
+		if tc.FaultOutcome != api.OutcomeRecovered || !tc.PolicyOK || !tc.Passed {
+			t.Fatalf("case %d: outcome %q policy_ok %v passed %v", tc.Index, tc.FaultOutcome, tc.PolicyOK, tc.Passed)
+		}
+	}
+	if res.Summary.Recovered != res.Summary.Cases || res.Summary.Diverged != 0 {
+		t.Fatalf("recovery counts: %+v", res.Summary)
+	}
+}
+
+// Cross-check the recovery claim against the MDS reference decoder
+// directly: decoding the faulted stimulus must equal decoding the clean
+// one, for every materialized case.
+func TestMustRecoverAgreesWithMDSReference(t *testing.T) {
+	sc, err := LoadExample("erasure-recover.json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := sc.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cr := range runs {
+		k, n := cr.Values["k"], cr.Values["stripes"]
+		faulted := applyFaults(cr.Clean.Inputs, cr.Clean.ArraySizes, cr.Faults)
+		clean := workloads.RefErasure(cr.Clean.Inputs["in"], cr.Clean.Inputs["epos"], n, k)
+		hurt := workloads.RefErasure(faulted["in"], faulted["epos"], n, k)
+		for i := range clean {
+			if clean[i] != hurt[i] {
+				t.Fatalf("case %d: MDS decode diverged at word %d despite erased-only flips", cr.Index, i)
+			}
+		}
+	}
+}
+
+// Erasure must-fail: flips land on survivor symbols, which the decoder
+// copies (or xors) straight into the output — every case must diverge
+// from the clean reference while still passing model-consistency
+// verification (sim == interpreter == reference on the same faulted
+// stimulus).
+func TestMustFailFaultsDiverge(t *testing.T) {
+	res, _ := runExample(t, "erasure-fail.json", Options{})
+	if !res.OK() {
+		t.Fatalf("must-fail campaign not ok: %+v", res.Summary)
+	}
+	for _, tc := range res.Cases {
+		if tc.FaultOutcome != api.OutcomeDiverged || !tc.PolicyOK || !tc.Passed {
+			t.Fatalf("case %d: outcome %q policy_ok %v passed %v", tc.Index, tc.FaultOutcome, tc.PolicyOK, tc.Passed)
+		}
+	}
+}
+
+// The prepared-design cache must not leak one case's faulted inputs
+// into the next case with the same parameters: a faulted case followed
+// by a clean same-key case must leave the clean case green.
+func TestFaultedCaseDoesNotPoisonCache(t *testing.T) {
+	spec := &api.ScenarioSpec{
+		Name:  "poison",
+		Seed:  3,
+		Cases: 6,
+		Mix: []api.MixEntry{{Family: "erasure", Params: map[string]api.Dist{
+			"k": {Const: intp(4)}, "stripes": {Const: intp(8)},
+		}}},
+		Faults: &api.FaultPlan{Arrays: []string{"in"}, Rate: 0.1, Policy: api.PolicyMustFail, MaxFlips: 1},
+	}
+	sc, err := Load(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background(), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("campaign not ok: %+v", res.Summary)
+	}
+	// All six cases share one resolved key; each must diverge on its own
+	// faults only, which the per-case digests prove: a poisoned reseed
+	// would make two different fault sets yield the same memories.
+	if res.Summary.Diverged != 6 {
+		t.Fatalf("want 6 diverged cases, got %+v", res.Summary)
+	}
+}
+
+func TestObservePolicyRecordsWithoutJudging(t *testing.T) {
+	spec := &api.ScenarioSpec{
+		Name:  "observe",
+		Seed:  5,
+		Cases: 3,
+		Mix: []api.MixEntry{{Family: "hamming", Params: map[string]api.Dist{
+			"words": {Const: intp(16)},
+		}}},
+		Faults: &api.FaultPlan{Rate: 0.2, Policy: api.PolicyObserve, MaxFlips: 2},
+	}
+	sc, err := Load(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background(), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.PolicyViolations != 0 {
+		t.Fatalf("observe policy must never violate: %+v", res.Summary)
+	}
+	for _, tc := range res.Cases {
+		if !tc.Passed {
+			t.Fatalf("case %d: model consistency broke under observed faults", tc.Index)
+		}
+		if len(tc.Faults) > 0 && tc.FaultOutcome == "" {
+			t.Fatalf("case %d: faults injected but no outcome recorded", tc.Index)
+		}
+	}
+}
+
+func TestRunnerErrorStillWritesSummary(t *testing.T) {
+	sc, err := Load(validSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, err = sc.Run(context.Background(), Options{Backend: "no-such-backend"}, &buf)
+	if err == nil {
+		t.Fatal("expected backend error")
+	}
+	tr, rerr := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if rerr != nil {
+		t.Fatalf("error trace unreadable: %v", rerr)
+	}
+	if tr.Summary == nil || tr.Summary.Error == "" || tr.Summary.OK {
+		t.Fatalf("summary must carry the error: %+v", tr.Summary)
+	}
+}

@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// Trace is a decoded scenario trace: the header, every case record,
+// and the trailing summary (nil when the trace was truncated mid-run —
+// still replayable).
+type Trace struct {
+	Header  api.TraceHeader
+	Cases   []api.TraceCase
+	Summary *api.TraceSummary
+}
+
+// ReadTrace decodes a JSONL trace stream: one header line, case lines,
+// and at most one trailing summary line.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		line++
+		if text == "" {
+			continue
+		}
+		var probe struct {
+			SchemaVersion int    `json:"schema_version"`
+			Record        string `json:"record"`
+		}
+		if err := json.Unmarshal([]byte(text), &probe); err != nil {
+			return nil, fmt.Errorf("scenario: trace line %d: %w", line, err)
+		}
+		if err := api.CheckVersion(probe.SchemaVersion); err != nil {
+			return nil, fmt.Errorf("scenario: trace line %d: %w", line, err)
+		}
+		switch probe.Record {
+		case api.RecordTraceHeader:
+			if tr.Header.Record != "" {
+				return nil, fmt.Errorf("scenario: trace line %d: second header", line)
+			}
+			if err := json.Unmarshal([]byte(text), &tr.Header); err != nil {
+				return nil, fmt.Errorf("scenario: trace line %d: %w", line, err)
+			}
+		case api.RecordTraceCase:
+			if tr.Header.Record == "" {
+				return nil, fmt.Errorf("scenario: trace line %d: case before header", line)
+			}
+			var tc api.TraceCase
+			if err := json.Unmarshal([]byte(text), &tc); err != nil {
+				return nil, fmt.Errorf("scenario: trace line %d: %w", line, err)
+			}
+			tr.Cases = append(tr.Cases, tc)
+		case api.RecordTraceSummary:
+			var ts api.TraceSummary
+			if err := json.Unmarshal([]byte(text), &ts); err != nil {
+				return nil, fmt.Errorf("scenario: trace line %d: %w", line, err)
+			}
+			tr.Summary = &ts
+		default:
+			return nil, fmt.Errorf("scenario: trace line %d: unknown record %q", line, probe.Record)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: read trace: %w", err)
+	}
+	if tr.Header.Record == "" {
+		return nil, fmt.Errorf("scenario: trace has no header record")
+	}
+	return tr, nil
+}
+
+// ReadTraceFile reads and decodes a trace file.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	defer f.Close()
+	tr, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Write re-emits the trace as JSONL.
+func (tr *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(tr.Header); err != nil {
+		return err
+	}
+	for _, tc := range tr.Cases {
+		if err := enc.Encode(tc); err != nil {
+			return err
+		}
+	}
+	if tr.Summary != nil {
+		return enc.Encode(*tr.Summary)
+	}
+	return nil
+}
+
+// CompareTraces diffs two case sequences over the deterministic
+// identity set — family, resolved params, arrival times, injected
+// faults, verdicts, fault outcomes, per-config cycles and final states,
+// and the memory and sink digests. With strict set (same backend on
+// both sides) per-config event counts must match too; across backend
+// kinds the cycle engine counts events differently, so they are
+// excluded. An empty diff list means the runs are bit-identical over
+// the compared set.
+func CompareTraces(a, b []api.TraceCase, strict bool) []string {
+	var diffs []string
+	add := func(i int, field string, av, bv interface{}) {
+		diffs = append(diffs, fmt.Sprintf("case %d: %s: %v != %v", i, field, av, bv))
+	}
+	if len(a) != len(b) {
+		return []string{fmt.Sprintf("case count: %d != %d", len(a), len(b))}
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.Family != y.Family {
+			add(i, "family", x.Family, y.Family)
+		}
+		if x.Params != y.Params {
+			add(i, "params", x.Params, y.Params)
+		}
+		if x.ArrivalNS != y.ArrivalNS {
+			add(i, "arrival_ns", x.ArrivalNS, y.ArrivalNS)
+		}
+		if x.Policy != y.Policy {
+			add(i, "policy", x.Policy, y.Policy)
+		}
+		if len(x.Faults) != len(y.Faults) {
+			add(i, "faults", len(x.Faults), len(y.Faults))
+		} else {
+			for j := range x.Faults {
+				if x.Faults[j] != y.Faults[j] {
+					add(i, fmt.Sprintf("fault %d", j), x.Faults[j], y.Faults[j])
+				}
+			}
+		}
+		if x.Completed != y.Completed {
+			add(i, "completed", x.Completed, y.Completed)
+		}
+		if x.Passed != y.Passed {
+			add(i, "passed", x.Passed, y.Passed)
+		}
+		if x.PolicyOK != y.PolicyOK {
+			add(i, "policy_ok", x.PolicyOK, y.PolicyOK)
+		}
+		if x.FaultOutcome != y.FaultOutcome {
+			add(i, "fault_outcome", x.FaultOutcome, y.FaultOutcome)
+		}
+		if x.MemoryDigest != y.MemoryDigest {
+			add(i, "memory_digest", x.MemoryDigest, y.MemoryDigest)
+		}
+		if x.SinkDigest != y.SinkDigest {
+			add(i, "sink_digest", x.SinkDigest, y.SinkDigest)
+		}
+		if len(x.Configs) != len(y.Configs) {
+			add(i, "configs", len(x.Configs), len(y.Configs))
+			continue
+		}
+		for j := range x.Configs {
+			cx, cy := x.Configs[j], y.Configs[j]
+			if cx.ID != cy.ID {
+				add(i, fmt.Sprintf("config %d id", j), cx.ID, cy.ID)
+			}
+			if cx.Cycles != cy.Cycles {
+				add(i, fmt.Sprintf("config %s cycles", cx.ID), cx.Cycles, cy.Cycles)
+			}
+			if cx.FinalState != cy.FinalState {
+				add(i, fmt.Sprintf("config %s final_state", cx.ID), cx.FinalState, cy.FinalState)
+			}
+			if strict && cx.Events != cy.Events {
+				add(i, fmt.Sprintf("config %s events", cx.ID), cx.Events, cy.Events)
+			}
+		}
+	}
+	return diffs
+}

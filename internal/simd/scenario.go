@@ -1,0 +1,147 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/flow"
+	"repro/internal/scenario"
+)
+
+// handleScenario serves POST /v1/scenario: the body is a declarative
+// api.ScenarioSpec, the response is the campaign's NDJSON trace — the
+// same header/case/summary records `testsuite -scenario -trace` writes,
+// so the stream can be saved and replayed locally. The spec is loaded,
+// capped and expanded before the first byte is written, keeping spec
+// errors on the 4xx surface; once streaming starts, execution errors
+// land in the trailing summary record's error field.
+//
+// Scenario campaigns prepare their own designs per resolved
+// parameterization (one campaign reuses them across cases via the
+// replay cache) and do not touch the shared session pool: a campaign's
+// faulted reseeding must not interleave with pooled verify traffic.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST an api.ScenarioSpec", http.StatusMethodNotAllowed)
+		return
+	}
+	if retry, ok := s.bucket.take(); !ok {
+		s.reject(w, retry, "rate limit exceeded")
+		return
+	}
+	sc, err := scenario.Parse(http.MaxBytesReader(w, r.Body, 1<<20), s.cfg.Registry)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sc.Spec.Cases > s.cfg.MaxScenarioCases {
+		http.Error(w, fmt.Sprintf("simd: %d cases exceeds the per-scenario cap %d",
+			sc.Spec.Cases, s.cfg.MaxScenarioCases), http.StatusBadRequest)
+		return
+	}
+	backend := sc.Spec.Backend
+	if backend == "" {
+		backend = s.cfg.Backend
+	}
+	if _, err := flow.LookupBackend(backend); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Materialize every case now: an invalid draw surfaces as a 400
+	// instead of a truncated stream. Run re-expands from the same seed,
+	// so the draws it executes are exactly the ones validated here.
+	if _, err := sc.Expand(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	select {
+	case s.tickets <- struct{}{}:
+	default:
+		s.reject(w, time.Second, "server at capacity")
+		return
+	}
+	defer func() { <-s.tickets }()
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	ctx := r.Context()
+	select {
+	case s.workers <- struct{}{}:
+	case <-ctx.Done():
+		s.failed.Add(1)
+		return // client gone while queued
+	}
+	defer func() { <-s.workers }()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fw := flushWriter{w: w}
+	fw.f, _ = w.(http.Flusher)
+	res, err := sc.Run(ctx, scenario.Options{Backend: backend, Registry: s.cfg.Registry}, fw)
+	if err != nil || (res != nil && !res.OK()) {
+		s.failed.Add(1)
+	}
+}
+
+// flushWriter flushes the HTTP response after every write so each trace
+// record reaches the client as it is produced.
+type flushWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}
+
+// Scenario posts a scenario spec and decodes the streamed trace. The
+// trace is returned even when the campaign went red — callers inspect
+// it — alongside an error describing the failure.
+func (c *Client) Scenario(ctx context.Context, spec api.ScenarioSpec) (*scenario.Trace, error) {
+	if spec.SchemaVersion == 0 {
+		spec.SchemaVersion = api.SchemaVersion
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathScenario, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	tr, err := scenario.ReadTrace(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Summary == nil {
+		return tr, errors.New("simd: scenario stream ended without a summary record")
+	}
+	if tr.Summary.Error != "" {
+		return tr, fmt.Errorf("simd: scenario failed after %d cases: %s", len(tr.Cases), tr.Summary.Error)
+	}
+	if !tr.Summary.OK {
+		return tr, fmt.Errorf("simd: scenario %q went red (%d/%d passed, %d policy violations)",
+			tr.Header.Scenario, tr.Summary.Passed, tr.Summary.Cases, tr.Summary.PolicyViolations)
+	}
+	return tr, nil
+}

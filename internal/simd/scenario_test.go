@@ -1,0 +1,140 @@
+package simd_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/scenario"
+	"repro/internal/simd"
+)
+
+// exampleScenario decodes an embedded example spec into the wire shape
+// a client would post.
+func exampleScenario(t *testing.T, name string) api.ScenarioSpec {
+	t.Helper()
+	b, ok := scenario.ExampleSpec(name)
+	if !ok {
+		t.Fatalf("no embedded spec %s", name)
+	}
+	var spec api.ScenarioSpec
+	if err := json.Unmarshal(b, &spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestScenarioEndpointStreamsTrace pins the wire shape: POSTing a spec
+// answers the NDJSON trace — header first, one record per case, summary
+// last — and the client decodes it into a green scenario.Trace.
+func TestScenarioEndpointStreamsTrace(t *testing.T) {
+	ts, client := testServer(t, simd.Config{})
+
+	// Raw HTTP first: the bytes on the wire.
+	b, ok := scenario.ExampleSpec("mixed-poisson.json")
+	if !ok {
+		t.Fatal("no embedded mixed-poisson spec")
+	}
+	resp, err := ts.Client().Post(ts.URL+simd.PathScenario, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	tr, err := scenario.ReadTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Scenario == "" || tr.Header.Backend == "" {
+		t.Fatalf("header: %+v", tr.Header)
+	}
+	if len(tr.Cases) != tr.Header.Cases {
+		t.Fatalf("%d case records, header says %d", len(tr.Cases), tr.Header.Cases)
+	}
+	if tr.Summary == nil || !tr.Summary.OK {
+		t.Fatalf("summary: %+v", tr.Summary)
+	}
+
+	// Same spec through the client.
+	tr2, err := client.Scenario(context.Background(), exampleScenario(t, "mixed-poisson.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := scenario.CompareTraces(tr.Cases, tr2.Cases, true); len(diffs) != 0 {
+		t.Fatalf("two runs of the same spec diverged: %v", diffs)
+	}
+}
+
+// TestScenarioEndpointTraceReplaysLocally closes the loop the ISSUE
+// asks for: a trace recorded by the service replays bit-identically in
+// process, faults and all.
+func TestScenarioEndpointTraceReplaysLocally(t *testing.T) {
+	_, client := testServer(t, simd.Config{})
+	tr, err := client.Scenario(context.Background(), exampleScenario(t, "erasure-recover.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Summary.FaultsInjected == 0 || tr.Summary.Recovered == 0 {
+		t.Fatalf("erasure-recover campaign injected nothing: %+v", tr.Summary)
+	}
+	res, err := scenario.Replay(context.Background(), tr, scenario.Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := scenario.CompareTraces(tr.Cases, res.Cases, true); len(diffs) != 0 {
+		t.Fatalf("local replay diverged from the service trace: %v", diffs)
+	}
+}
+
+// TestScenarioEndpointValidation walks the 4xx surface: spec errors are
+// full-status replies, never truncated streams.
+func TestScenarioEndpointValidation(t *testing.T) {
+	ts, _ := testServer(t, simd.Config{MaxScenarioCases: 4})
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+simd.PathScenario, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	valid := func(cases int, extra string) string {
+		return fmt.Sprintf(`{"name":"t","seed":1,"cases":%d,"mix":[{"family":"hamming","weight":1,"params":{"words":8}}]%s}`,
+			cases, extra)
+	}
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{`, http.StatusBadRequest},
+		{`{"name":"t","cases":2,"mix":[]}`, http.StatusBadRequest},
+		{`{"name":"t","cases":2,"mix":[{"family":"no-such-family","weight":1}]}`, http.StatusBadRequest},
+		{`{"name":"t","schema_version":99,"cases":2,"mix":[{"family":"hamming","weight":1}]}`, http.StatusBadRequest},
+		{valid(10, ""), http.StatusBadRequest}, // over the MaxScenarioCases cap
+		{valid(2, `,"backend":"no-such-backend"`), http.StatusBadRequest},
+		{valid(2, ""), http.StatusOK},
+	}
+	for _, c := range cases {
+		if resp := post(c.body); resp.StatusCode != c.want {
+			t.Errorf("POST %s: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + simd.PathScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", resp.StatusCode)
+	}
+}

@@ -71,6 +71,9 @@ type Config struct {
 	Backend string
 	// MaxRounds caps rounds per request (default 4096).
 	MaxRounds int
+	// MaxScenarioCases caps the case count of a posted scenario spec
+	// (default 1024).
+	MaxScenarioCases int
 	// Registry resolves workload names (default: workloads.Default).
 	Registry *workloads.Registry
 }
@@ -98,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRounds < 1 {
 		c.MaxRounds = 4096
+	}
+	if c.MaxScenarioCases < 1 {
+		c.MaxScenarioCases = 1024
 	}
 	if c.Backend == "" {
 		c.Backend = flow.DefaultBackend
@@ -144,6 +150,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc(PathVerify, s.handleRun(api.KindVerify))
 	s.mux.HandleFunc(PathSweep, s.handleRun(api.KindSweep))
 	s.mux.HandleFunc(PathBench, s.handleRun(api.KindBench))
+	s.mux.HandleFunc(PathScenario, s.handleScenario)
 	s.mux.HandleFunc(PathBackends, s.handleBackends)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	s.mux.HandleFunc(PathHealth, s.handleHealth)
@@ -151,12 +158,14 @@ func New(cfg Config) *Server {
 }
 
 // The server's routes. Each run endpoint accepts a POSTed api.Request
-// and fixes its Kind; /v1/backends returns an api.BackendsResponse;
-// /statsz returns an api.ServerStats object.
+// and fixes its Kind; /v1/scenario accepts a POSTed api.ScenarioSpec
+// and streams its trace records; /v1/backends returns an
+// api.BackendsResponse; /statsz returns an api.ServerStats object.
 const (
 	PathVerify   = "/v1/verify"
 	PathSweep    = "/v1/sweep"
 	PathBench    = "/v1/bench"
+	PathScenario = "/v1/scenario"
 	PathBackends = "/v1/backends"
 	PathStats    = "/statsz"
 	PathHealth   = "/healthz"

@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/scenario"
+)
+
+// TestExampleScenariosMatchEmbedded pins the checked-in example specs
+// (examples/scenarios/, the ones the docs tell users to run) byte-for-
+// byte against the embedded copies the engine, the bench registry and
+// the CI smoke step execute. A drifted copy would make "run the
+// documented spec" and "run the tested spec" different campaigns.
+func TestExampleScenariosMatchEmbedded(t *testing.T) {
+	names := scenario.ExampleNames()
+	if len(names) < 2 {
+		t.Fatalf("embedded spec registry too small: %v", names)
+	}
+	onDisk, err := filepath.Glob("examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != len(names) {
+		t.Fatalf("examples/scenarios holds %d specs, embedded registry %d: %v vs %v",
+			len(onDisk), len(names), onDisk, names)
+	}
+	for _, name := range names {
+		want, _ := scenario.ExampleSpec(name)
+		got, err := os.ReadFile(filepath.Join("examples", "scenarios", name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("examples/scenarios/%s differs from the embedded copy (internal/scenario/specs/%s)", name, name)
+		}
+	}
+}
+
+// TestSeedDisciplineSingleRandomSource walks every non-test source file
+// and rejects math/rand imports outside internal/scenario. Scenario
+// campaigns promise bit-identical replay from one recorded seed; a
+// stray random stream anywhere else in the flow would silently break
+// that promise, so the discipline is: all randomness flows through the
+// scenario package's labeled sub-streams (internal/scenario/streams.go).
+func TestSeedDisciplineSingleRandomSource(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || name == "testdata" || name == "examples" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "math/rand" && p != "math/rand/v2" {
+				continue
+			}
+			if filepath.Dir(path) == filepath.Join("internal", "scenario") {
+				continue
+			}
+			t.Errorf("%s imports %s: seeded randomness must flow through internal/scenario's labeled sub-streams", path, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScenarioPublicAPI exercises the root re-exports of the scenario
+// engine the way docs/SCENARIOS.md documents them: load a checked-in
+// spec, run the campaign, replay its trace bit-identically.
+func TestScenarioPublicAPI(t *testing.T) {
+	sc, err := repro.LoadScenarioFile("examples/scenarios/mixed-poisson.json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background(), repro.ScenarioOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("campaign went red: %+v", res.Summary)
+	}
+	rep, err := repro.ReplayTrace(context.Background(), res.Trace(), repro.ScenarioOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := repro.CompareTraces(res.Cases, rep.Cases, true); len(diffs) != 0 {
+		t.Fatalf("replay diverged: %v", diffs)
+	}
+}

@@ -43,6 +43,21 @@ echo "$SWEEP" | grep -q '"rounds":4'
 echo "$SWEEP" | grep -q '"elaborations":'
 [ "$(echo "$SWEEP" | grep -c '"record":"config"')" -ge 4 ]
 
+echo "== scenario: NDJSON trace stream that replays bit-identically =="
+SCEN=$(curl -fsS "$BASE/v1/scenario" --data-binary @examples/scenarios/mixed-poisson.json)
+echo "$SCEN" | head -1
+echo "$SCEN" | tail -1
+echo "$SCEN" | grep -q '"record":"scenario"'
+echo "$SCEN" | grep -q '"record":"case"'
+echo "$SCEN" | grep -q '"record":"scenario_summary"'
+echo "$SCEN" | grep -q '"ok":true'
+echo "$SCEN" > "$WORKDIR/trace.jsonl"
+go run ./cmd/testsuite -replay "$WORKDIR/trace.jsonl" | grep -q "replay matches the recorded trace"
+echo "replayed $(grep -c '"record":"case"' "$WORKDIR/trace.jsonl") recorded cases bit-identically"
+# a malformed spec is a clean 400, not a broken stream
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/scenario" -d '{"name":"bad","cases":1,"mix":[]}')
+[ "$CODE" = 400 ] || { echo "scenario validation: HTTP $CODE, want 400" >&2; exit 1; }
+
 echo "== backends: descriptor catalog with the server default =="
 BACKENDS=$(curl -fsS "$BASE/v1/backends")
 echo "$BACKENDS"
