@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test quickstart simd smoke scenario-smoke race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
+.PHONY: build test quickstart simd smoke scenario-smoke sweep-smoke race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,17 @@ scenario-smoke:
 	$(GO) run ./cmd/testsuite -replay $$tmp -counterfactual backend=heapref; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
+# sweep-smoke mirrors the CI sweep step: run a sharded campaign across
+# subprocess workers with a kill injected mid-shard, resume it, and
+# diff the merged file against a single-shard reference — it must be
+# byte-identical and replay bit-identically (docs/SWEEP.md).
+sweep-smoke:
+	sh scripts/sweep_smoke.sh
+
 race:
 	$(GO) test -race ./internal/core/... ./internal/hades/... \
-		./internal/rtg/... ./internal/flow/... ./internal/simd/...
+		./internal/rtg/... ./internal/flow/... ./internal/simd/... \
+		./internal/sweep/...
 
 # bench runs the pinned benchmark scenarios once per registered
 # simulator backend, writes BENCH_<name>.json files to
@@ -98,4 +106,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint test quickstart smoke scenario-smoke race cover bench
+ci: build vet fmt-check lint test quickstart smoke scenario-smoke sweep-smoke race cover bench

@@ -22,6 +22,12 @@
 //	testsuite -replay run.jsonl                      # must be bit-identical
 //	testsuite -replay run.jsonl -backend compiled    # replay on another backend
 //	testsuite -replay run.jsonl -counterfactual faults=off
+//
+// Sharded sweeps (docs/SWEEP.md):
+//
+//	testsuite sweep run -spec campaign.json -shards 8 -shard-workers 4 -out-dir out/
+//	testsuite sweep run -spec campaign.json -out-dir out/ -resume
+//	testsuite sweep status -out-dir out/
 package main
 
 import (
@@ -44,6 +50,11 @@ func main() {
 }
 
 func run() error {
+	// The sweep subcommand family has its own flag sets; dispatch before
+	// the global flags parse.
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		return runSweep(os.Args[2:])
+	}
 	var (
 		table1  = flag.Bool("table1", false, "reproduce the paper's Table I")
 		pixels  = flag.Int("pixels", 4096, "FDCT image size in pixels (Table I uses 4096)")

@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/simd"
+	"repro/internal/sweep"
+)
+
+// runSweep dispatches the sweep subcommand family:
+//
+//	testsuite sweep run -spec campaign.json -shards 8 -shard-workers 4 -out-dir out/
+//	testsuite sweep run -scenario spec.json -shards 4 -out campaign.jsonl
+//	testsuite sweep run -spec campaign.json -out-dir out/ -resume
+//	testsuite sweep run -spec campaign.json -out-dir out/ -subprocess
+//	testsuite sweep run -spec campaign.json -out-dir out/ -remote http://a:8080,http://b:8080
+//	testsuite sweep worker -spec out/campaign.json -shard 3 -shard-out out/shard-0003.jsonl
+//	testsuite sweep status -out-dir out/
+//	testsuite sweep merge -out-dir out/ -out campaign.jsonl
+func runSweep(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("sweep: usage: testsuite sweep run|worker|status|merge [flags] (see docs/SWEEP.md)")
+	}
+	switch args[0] {
+	case "run":
+		return sweepRun(args[1:])
+	case "worker":
+		return sweepWorker(args[1:])
+	case "status":
+		return sweepStatus(args[1:])
+	case "merge":
+		return sweepMerge(args[1:])
+	default:
+		return fmt.Errorf("sweep: unknown subcommand %q (want run, worker, status or merge)", args[0])
+	}
+}
+
+// sweepCampaign loads the campaign named by -spec or -scenario, with
+// -shards and -backend applied before the digest is computed so every
+// process sharing the spec file agrees on the layout.
+func sweepCampaign(specPath, scenarioPath, backend string, shards int) (*sweep.Campaign, error) {
+	var spec *api.SweepSpec
+	switch {
+	case specPath != "" && scenarioPath != "":
+		return nil, fmt.Errorf("sweep: -spec and -scenario are mutually exclusive")
+	case specPath != "":
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		defer f.Close()
+		spec, err = api.DecodeSweepSpec(f)
+		if err != nil {
+			return nil, err
+		}
+	case scenarioPath != "":
+		f, err := os.Open(scenarioPath)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		defer f.Close()
+		ss, err := api.DecodeScenarioSpec(f)
+		if err != nil {
+			return nil, err
+		}
+		spec = sweep.WrapScenario(ss, 0)
+	default:
+		return nil, fmt.Errorf("sweep: -spec or -scenario is required")
+	}
+	if shards > 0 {
+		spec.Shards = shards
+	}
+	if backend != "" {
+		spec.Backend = backend
+	}
+	return sweep.Load(spec, nil)
+}
+
+func sweepRun(args []string) error {
+	fs := flag.NewFlagSet("sweep run", flag.ContinueOnError)
+	var (
+		specPath     = fs.String("spec", "", "sweep spec file (scenario or grid campaign)")
+		scenarioPath = fs.String("scenario", "", "scenario spec file to run as a campaign")
+		shards       = fs.Int("shards", 0, "shard count (overrides the spec; 0 = spec or default)")
+		workers      = fs.Int("shard-workers", 1, "concurrent shard workers")
+		outDir       = fs.String("out-dir", "", "shard directory (default: a temporary directory)")
+		out          = fs.String("out", "", "merged campaign file (default: <out-dir>/campaign.jsonl)")
+		resume       = fs.Bool("resume", false, "skip shards already valid in -out-dir, re-run the rest")
+		remote       = fs.String("remote", "", "comma-separated simd base URLs to run shards on")
+		subprocess   = fs.Bool("subprocess", false, "run each shard in a spawned testsuite worker process")
+		retries      = fs.Int("retries", 0, "per-shard retry budget before the shard counts as failed")
+		backoff      = fs.Duration("backoff", 100*time.Millisecond, "base backoff between shard retries")
+		maxFailures  = fs.Int("max-failures", 1, "failed shards tolerated before aborting the pass")
+		backend      = fs.String("backend", "", "simulator backend override for the whole campaign")
+		quiet        = fs.Bool("q", false, "suppress per-shard progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote != "" && *subprocess {
+		return fmt.Errorf("sweep: -remote and -subprocess are mutually exclusive")
+	}
+	c, err := sweepCampaign(*specPath, *scenarioPath, *backend, *shards)
+	if err != nil {
+		return err
+	}
+	dir := *outDir
+	if dir == "" {
+		if *resume {
+			return fmt.Errorf("sweep: -resume needs -out-dir (the shard directory to resume)")
+		}
+		dir, err = os.MkdirTemp("", "sweep-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		if *out == "" {
+			// The shard dir is transient; keep the merged campaign.
+			*out = c.Spec.Name + ".jsonl"
+		}
+	}
+
+	opts := sweep.Options{
+		Workers:     *workers,
+		OutDir:      dir,
+		Out:         *out,
+		Resume:      *resume,
+		Retries:     *retries,
+		Backoff:     *backoff,
+		MaxFailures: *maxFailures,
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	switch {
+	case *remote != "":
+		var clients []*simd.Client
+		for _, u := range strings.Split(*remote, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			clients = append(clients, simd.NewClient(u, nil))
+		}
+		if len(clients) == 0 {
+			return fmt.Errorf("sweep: -remote lists no server URLs")
+		}
+		opts.Worker = &simd.ShardWorker{Clients: clients}
+	case *subprocess:
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("sweep: locating own binary for -subprocess: %w", err)
+		}
+		opts.Worker = &sweep.ProcessWorker{
+			Argv: func(c *sweep.Campaign, sh sweep.Shard, path string) []string {
+				return []string{self, "sweep", "worker",
+					"-spec", sweep.SpecPath(dir),
+					"-shard", strconv.Itoa(sh.Index),
+					"-shard-out", path,
+				}
+			},
+		}
+	}
+
+	res, err := sweep.Run(context.Background(), c, opts)
+	if res != nil {
+		reportSweep(os.Stderr, res)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Out)
+	return nil
+}
+
+// sweepWorker executes exactly one shard to a file — the subprocess
+// side of -subprocess, and a building block for running shards of one
+// campaign by hand across machines. Fault injection from SWEEP_FAULT
+// applies here (and only here): the chaos harness kills and truncates
+// worker processes, never the coordinator.
+func sweepWorker(args []string) error {
+	fs := flag.NewFlagSet("sweep worker", flag.ContinueOnError)
+	var (
+		specPath = fs.String("spec", "", "campaign spec file (the coordinator's <out-dir>/campaign.json)")
+		shard    = fs.Int("shard", -1, "shard index to execute")
+		shardOut = fs.String("shard-out", "", "shard file to write")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || *shardOut == "" || *shard < 0 {
+		return fmt.Errorf("sweep: worker needs -spec, -shard and -shard-out")
+	}
+	c, err := sweep.LoadFile(*specPath, nil)
+	if err != nil {
+		return err
+	}
+	sh, err := c.ShardAt(*shard)
+	if err != nil {
+		return err
+	}
+	inj, err := sweep.FaultsFromEnv()
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		inj.Exit = os.Exit
+	}
+	_, err = sweep.ExecuteShardFile(context.Background(), c, sh, *shardOut, inj)
+	return err
+}
+
+// sweepStatus classifies every shard file in -out-dir against the
+// campaign spec stored there: valid shards survive a resume, the rest
+// re-run.
+func sweepStatus(args []string) error {
+	fs := flag.NewFlagSet("sweep status", flag.ContinueOnError)
+	outDir := fs.String("out-dir", "", "shard directory to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("sweep: status needs -out-dir")
+	}
+	c, err := sweep.LoadFile(sweep.SpecPath(*outDir), nil)
+	if err != nil {
+		return err
+	}
+	valid := 0
+	for _, sh := range c.Shards() {
+		info, err := sweep.InspectShard(sweep.ShardPath(*outDir, sh.Index), c.ShardHeader(sh))
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("shard %4d  cases [%d,%d)  %s", sh.Index, sh.From, sh.To, info.State)
+		if info.State == sweep.StateValid {
+			valid++
+		} else if info.Reason != "" {
+			line += "  (" + info.Reason + ")"
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("%d/%d shards valid (campaign %s, digest %s)\n", valid, c.Spec.Shards, c.Spec.Name, c.Digest)
+	return nil
+}
+
+// sweepMerge re-validates and merges an out-dir whose shards were all
+// produced already — by earlier passes, by hand-run workers, or copied
+// from other hosts. Nothing executes; any non-valid shard aborts.
+func sweepMerge(args []string) error {
+	fs := flag.NewFlagSet("sweep merge", flag.ContinueOnError)
+	var (
+		outDir = fs.String("out-dir", "", "shard directory to merge")
+		out    = fs.String("out", "", "merged campaign file (default: <out-dir>/campaign.jsonl)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("sweep: merge needs -out-dir")
+	}
+	c, err := sweep.LoadFile(sweep.SpecPath(*outDir), nil)
+	if err != nil {
+		return err
+	}
+	if err := sweep.MergeDir(c, *outDir, *out); err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = sweep.MergedPath(*outDir)
+	}
+	fmt.Println(dst)
+	return nil
+}
+
+// reportSweep prints the per-shard outcome table and campaign totals.
+func reportSweep(w io.Writer, res *sweep.Result) {
+	for _, st := range res.Shards {
+		line := fmt.Sprintf("shard %4d  %-7s  worker=%s attempts=%d", st.Shard, st.State, st.Worker, st.Attempts)
+		if st.Error != "" {
+			line += "  error=" + st.Error
+		}
+		fmt.Fprintln(w, line)
+	}
+	s := res.Stats
+	fmt.Fprintf(w, "sweep %s: %d executed, %d skipped, %d failed, %d retried; %d cases in %v\n",
+		s.Campaign, s.Executed, s.Skipped, s.Failed, s.Retried, s.CasesExecuted,
+		time.Duration(s.WallNS).Round(time.Millisecond))
+}

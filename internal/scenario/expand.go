@@ -37,6 +37,22 @@ func (cr *CaseRun) Key() string { return cr.Family + "|" + cr.Params }
 // the clean case, and plans the fault injections. Same spec + same seed
 // always yields the same sequence.
 func (sc *Scenario) Expand() ([]*CaseRun, error) {
+	return sc.ExpandRange(0, sc.Spec.Cases)
+}
+
+// ExpandRange materializes cases [lo, hi) of the deterministic
+// sequence — the shard-sized slice a sweep worker executes. The cases
+// returned are identical (indices, draws, faults and all) to the same
+// slice of a full Expand: the prefix before lo is still drawn from the
+// sub-streams, just not returned. Fault planning consumes a draw count
+// that depends on the built clean case, so with a fault plan the
+// skipped prefix is built and planned too; without one the expensive
+// workload build is skipped for cases before lo.
+func (sc *Scenario) ExpandRange(lo, hi int) ([]*CaseRun, error) {
+	if lo < 0 || hi > sc.Spec.Cases || lo > hi {
+		return nil, fmt.Errorf("scenario: %s: case range [%d, %d) outside [0, %d)",
+			sc.Spec.Name, lo, hi, sc.Spec.Cases)
+	}
 	var (
 		mixR    = subStream(sc.Spec.Seed, "mix")
 		paramsR = subStream(sc.Spec.Seed, "params")
@@ -47,12 +63,16 @@ func (sc *Scenario) Expand() ([]*CaseRun, error) {
 	for _, m := range sc.mix {
 		total += m.weight
 	}
-	out := make([]*CaseRun, 0, sc.Spec.Cases)
-	for i := 0; i < sc.Spec.Cases; i++ {
+	out := make([]*CaseRun, 0, hi-lo)
+	for i := 0; i < hi; i++ {
 		entry := pickMix(sc.mix, total, mixR)
 		v := workloads.Values{}
 		for _, pd := range entry.dists {
 			v[pd.name] = drawDist(pd.d, paramsR)
+		}
+		arrivalNS := arrive.next()
+		if i < lo && sc.Spec.Faults == nil {
+			continue
 		}
 		rv, err := workloads.Resolve(entry.w, v)
 		if err != nil {
@@ -67,7 +87,7 @@ func (sc *Scenario) Expand() ([]*CaseRun, error) {
 			Family:    entry.w.Name(),
 			Values:    rv,
 			Params:    rv.String(),
-			ArrivalNS: arrive.next(),
+			ArrivalNS: arrivalNS,
 			Workload:  entry.w,
 			Clean:     clean,
 		}
@@ -80,6 +100,9 @@ func (sc *Scenario) Expand() ([]*CaseRun, error) {
 			if err != nil {
 				return nil, fmt.Errorf("scenario: %s: case %d: %w", sc.Spec.Name, i, err)
 			}
+		}
+		if i < lo {
+			continue
 		}
 		out = append(out, cr)
 	}

@@ -72,6 +72,92 @@ func (sc *Scenario) Run(ctx context.Context, opts Options, trace io.Writer) (*Re
 	return execute(ctx, sc.Spec.Name, sc.Spec.Seed, runs, opts, trace)
 }
 
+// Executor executes materialized cases one at a time against a shared
+// pipeline and prepared-design cache. It is the unit a sweep shard
+// worker drives directly: executing cases [lo, hi) of an ExpandRange
+// through an Executor yields trace records identical to the same slice
+// of a full Run.
+type Executor struct {
+	opts    Options
+	backend string
+	pipe    *flow.Pipeline
+	cache   map[string]*flow.PreparedDesign
+}
+
+// NewExecutor resolves the backend ("" means the flow default — spec
+// resolution happens in Run) and builds the pipeline.
+func NewExecutor(opts Options) (*Executor, error) {
+	backend := opts.Backend
+	if backend == "" {
+		backend = flow.DefaultBackend
+	}
+	pipeOpts := []flow.Option{flow.WithBackend(backend)}
+	if opts.Width > 0 {
+		pipeOpts = append(pipeOpts, flow.WithWidth(opts.Width))
+	}
+	pipe, err := flow.New(append(pipeOpts, opts.Flow...)...)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{
+		opts:    opts,
+		backend: backend,
+		pipe:    pipe,
+		cache:   map[string]*flow.PreparedDesign{},
+	}, nil
+}
+
+// Backend is the resolved backend name the executor simulates on.
+func (e *Executor) Backend() string { return e.backend }
+
+// Execute runs one case and returns its trace record. Designs are
+// prepared once per resolved parameterization and reused from the
+// replay cache on repeated keys.
+func (e *Executor) Execute(ctx context.Context, cr *CaseRun) (*api.TraceCase, error) {
+	return runCase(ctx, e.pipe, e.cache, cr, e.opts)
+}
+
+// Summarize folds executed case records into the trailing summary
+// record. planned is the expanded case count (which equals len(cases)
+// only when every case executed); errMsg is the execution error, if
+// any. Deterministic: the sweep coordinator recomputes the merged
+// campaign's summary from decoded shard cases with this same fold and
+// gets bytes identical to a single-process run.
+func Summarize(name string, planned int, cases []api.TraceCase, errMsg string) api.TraceSummary {
+	s := api.TraceSummary{
+		SchemaVersion: api.SchemaVersion,
+		Record:        api.RecordTraceSummary,
+		Scenario:      name,
+		Cases:         planned,
+	}
+	for i := range cases {
+		rec := &cases[i]
+		if rec.Passed {
+			s.Passed++
+		} else {
+			s.Failed++
+		}
+		if !rec.PolicyOK {
+			s.PolicyViolations++
+		}
+		s.FaultsInjected += len(rec.Faults)
+		switch rec.FaultOutcome {
+		case api.OutcomeRecovered:
+			s.Recovered++
+		case api.OutcomeDiverged:
+			s.Diverged++
+		}
+		for _, cfg := range rec.Configs {
+			s.Configs++
+			s.Cycles += cfg.Cycles
+			s.Events += cfg.Events
+		}
+	}
+	s.Error = errMsg
+	s.OK = errMsg == "" && s.Failed == 0 && s.PolicyViolations == 0
+	return s
+}
+
 // execute drives materialized cases through the flow: the shared tail
 // of Run, Replay and Counterfactual.
 func execute(ctx context.Context, name string, seed int64, runs []*CaseRun, opts Options, trace io.Writer) (*Result, error) {
@@ -96,36 +182,27 @@ func execute(ctx context.Context, name string, seed int64, runs []*CaseRun, opts
 			return res, fmt.Errorf("scenario: write trace: %w", err)
 		}
 	}
-	summary := &res.Summary
-	summary.SchemaVersion = api.SchemaVersion
-	summary.Record = api.RecordTraceSummary
-	summary.Scenario = name
-	summary.Cases = len(runs)
 	finish := func(err error) (*Result, error) {
+		errMsg := ""
 		if err != nil {
-			summary.Error = err.Error()
+			errMsg = err.Error()
 		}
-		summary.OK = err == nil && summary.Failed == 0 && summary.PolicyViolations == 0
+		res.Summary = Summarize(name, len(runs), res.Cases, errMsg)
 		if enc != nil {
-			if werr := enc.Encode(*summary); werr != nil && err == nil {
+			if werr := enc.Encode(res.Summary); werr != nil && err == nil {
 				err = fmt.Errorf("scenario: write trace: %w", werr)
 			}
 		}
 		return res, err
 	}
 
-	pipeOpts := []flow.Option{flow.WithBackend(backend)}
-	if opts.Width > 0 {
-		pipeOpts = append(pipeOpts, flow.WithWidth(opts.Width))
-	}
-	pipe, err := flow.New(append(pipeOpts, opts.Flow...)...)
+	exec, err := NewExecutor(opts)
 	if err != nil {
 		return finish(err)
 	}
-	cache := map[string]*flow.PreparedDesign{}
 
 	for _, cr := range runs {
-		rec, err := runCase(ctx, pipe, cache, cr, opts)
+		rec, err := exec.Execute(ctx, cr)
 		if err != nil {
 			return finish(fmt.Errorf("scenario: %s: case %d (%s,%s): %w", name, cr.Index, cr.Family, cr.Params, err))
 		}
@@ -134,26 +211,6 @@ func execute(ctx context.Context, name string, seed int64, runs []*CaseRun, opts
 			if err := enc.Encode(*rec); err != nil {
 				return finish(fmt.Errorf("scenario: write trace: %w", err))
 			}
-		}
-		if rec.Passed {
-			summary.Passed++
-		} else {
-			summary.Failed++
-		}
-		if !rec.PolicyOK {
-			summary.PolicyViolations++
-		}
-		summary.FaultsInjected += len(rec.Faults)
-		switch rec.FaultOutcome {
-		case api.OutcomeRecovered:
-			summary.Recovered++
-		case api.OutcomeDiverged:
-			summary.Diverged++
-		}
-		for _, cfg := range rec.Configs {
-			summary.Configs++
-			summary.Cycles += cfg.Cycles
-			summary.Events += cfg.Events
 		}
 	}
 	return finish(nil)

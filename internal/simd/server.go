@@ -74,6 +74,10 @@ type Config struct {
 	// MaxScenarioCases caps the case count of a posted scenario spec
 	// (default 1024).
 	MaxScenarioCases int
+	// MaxShardCases caps the case range of one posted sweep shard
+	// (default 4096). Campaigns bigger than that submit more shards, not
+	// bigger ones.
+	MaxShardCases int
 	// Registry resolves workload names (default: workloads.Default).
 	Registry *workloads.Registry
 }
@@ -104,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScenarioCases < 1 {
 		c.MaxScenarioCases = 1024
+	}
+	if c.MaxShardCases < 1 {
+		c.MaxShardCases = 4096
 	}
 	if c.Backend == "" {
 		c.Backend = flow.DefaultBackend
@@ -151,6 +158,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc(PathSweep, s.handleRun(api.KindSweep))
 	s.mux.HandleFunc(PathBench, s.handleRun(api.KindBench))
 	s.mux.HandleFunc(PathScenario, s.handleScenario)
+	s.mux.HandleFunc(PathShardedSweep, s.handleShardedSweep)
 	s.mux.HandleFunc(PathBackends, s.handleBackends)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	s.mux.HandleFunc(PathHealth, s.handleHealth)
@@ -162,13 +170,14 @@ func New(cfg Config) *Server {
 // and streams its trace records; /v1/backends returns an
 // api.BackendsResponse; /statsz returns an api.ServerStats object.
 const (
-	PathVerify   = "/v1/verify"
-	PathSweep    = "/v1/sweep"
-	PathBench    = "/v1/bench"
-	PathScenario = "/v1/scenario"
-	PathBackends = "/v1/backends"
-	PathStats    = "/statsz"
-	PathHealth   = "/healthz"
+	PathVerify       = "/v1/verify"
+	PathSweep        = "/v1/sweep"
+	PathBench        = "/v1/bench"
+	PathScenario     = "/v1/scenario"
+	PathShardedSweep = "/v1/sweep/sharded"
+	PathBackends     = "/v1/backends"
+	PathStats        = "/statsz"
+	PathHealth       = "/healthz"
 )
 
 // ServeHTTP implements http.Handler.

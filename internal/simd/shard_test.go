@@ -1,0 +1,163 @@
+package simd_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/scenario"
+	"repro/internal/simd"
+	"repro/internal/sweep"
+)
+
+func shardScenarioSpec(seed int64, cases int) *api.ScenarioSpec {
+	return &api.ScenarioSpec{
+		Name:  "remote-camp",
+		Seed:  seed,
+		Cases: cases,
+		Mix: []api.MixEntry{
+			{Family: "hamming", Params: map[string]api.Dist{"words": {Choice: []int{4, 8}}}},
+		},
+	}
+}
+
+// TestShardedSweepEndpointStreamsShard pins the wire shape: the
+// response bytes are exactly what a local worker writes to a shard
+// file — header, case lines, footer — and pass shard validation.
+func TestShardedSweepEndpointStreamsShard(t *testing.T) {
+	_, client := testServer(t, simd.Config{Workers: 2})
+	spec := sweep.WrapScenario(shardScenarioSpec(5, 4), 2)
+	c, err := sweep.Load(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := c.Shards()[1]
+
+	var remote bytes.Buffer
+	if err := client.ShardedSweep(context.Background(), api.SweepRequest{Spec: *c.Spec, Shard: 1}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	var local bytes.Buffer
+	if _, err := sweep.ExecuteShard(context.Background(), c, sh, &local, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remote.Bytes(), local.Bytes()) {
+		t.Fatalf("remote shard differs from local execution:\n%s\nvs\n%s", remote.Bytes(), local.Bytes())
+	}
+
+	dir := t.TempDir()
+	path := sweep.ShardPath(dir, 1)
+	if err := os.WriteFile(path, remote.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := sweep.InspectShard(path, c.ShardHeader(sh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != sweep.StateValid {
+		t.Fatalf("remote shard classified %s (%s), want valid", info.State, info.Reason)
+	}
+}
+
+// TestRemoteWorkerCampaign runs the whole coordinator against remote
+// simd workers and pins the merged bytes to the single-process run —
+// the distributed path meets the same determinism bar as the local
+// ones.
+func TestRemoteWorkerCampaign(t *testing.T) {
+	_, client := testServer(t, simd.Config{Workers: 2})
+	spec := shardScenarioSpec(6, 6)
+	sc, err := scenario.Load(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := sc.Run(context.Background(), scenario.Options{}, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := sweep.Load(sweep.WrapScenario(spec, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweep.Run(context.Background(), c, sweep.Options{
+		Workers: 2,
+		OutDir:  t.TempDir(),
+		Worker:  &simd.ShardWorker{Clients: []*simd.Client{client}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(res.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("remote-worker campaign differs from single-process run")
+	}
+	for _, st := range res.Shards {
+		if st.Worker != "remote" {
+			t.Errorf("shard %d worker tag %q, want remote", st.Shard, st.Worker)
+		}
+	}
+}
+
+// TestShardedSweepValidation keeps spec and shard errors on the 4xx
+// surface.
+func TestShardedSweepValidation(t *testing.T) {
+	ts, client := testServer(t, simd.Config{Workers: 1, MaxShardCases: 2})
+	good := sweep.WrapScenario(shardScenarioSpec(7, 4), 1) // one 4-case shard > cap 2
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+simd.PathShardedSweep, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post(`{`); code != http.StatusBadRequest {
+		t.Errorf("malformed body: %d, want 400", code)
+	}
+	if code := post(`{"spec":{"name":"x"},"shard":0}`); code != http.StatusBadRequest {
+		t.Errorf("modeless spec: %d, want 400", code)
+	}
+	if code := post(`{"spec":{"name":"x","grid":{"workloads":["nope"],"seed_to":1}},"shard":0}`); code != http.StatusBadRequest {
+		t.Errorf("unknown family: %d, want 400", code)
+	}
+
+	// Shard index outside the layout.
+	c, err := sweep.Load(sweep.WrapScenario(shardScenarioSpec(7, 4), 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := client.ShardedSweep(context.Background(), api.SweepRequest{Spec: *c.Spec, Shard: 9}, &buf); err == nil {
+		t.Error("out-of-layout shard index accepted")
+	}
+
+	// Shard bigger than the server's cap.
+	cg, err := sweep.Load(good, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = client.ShardedSweep(context.Background(), api.SweepRequest{Spec: *cg.Spec, Shard: 0}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("oversized shard: %v, want per-shard cap error", err)
+	}
+
+	// GET is not a shard submission.
+	resp, err := ts.Client().Get(ts.URL + simd.PathShardedSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// EnvFault is the environment knob subprocess workers read to arm
+// fault injection: a comma-separated list of fault specs, e.g.
+// "kill:1" (die mid-shard while executing shard 1), "truncate:2"
+// (truncate shard 2's completed file mid-case), "dup:1:3" (the
+// coordinator copies shard 1's completed file over shard 3's path
+// before merge validation). Test-only: the chaos suite and the
+// sweep-smoke CI step set it; production campaigns never should.
+const EnvFault = "SWEEP_FAULT"
+
+// FaultExitCode is the exit status an injected kill dies with in a
+// subprocess worker — distinguishable from an ordinary failure (1) or
+// a usage error (2).
+const FaultExitCode = 3
+
+// Injector arms test-only faults against specific shards. The zero
+// value and the nil injector inject nothing. In-process faults fire
+// once per injector (a retry or resume pass after the fault runs
+// clean, like a real transient crash); subprocess workers re-read the
+// env each run, so persistent chaos needs the retry budget or a
+// resume pass without the env, exactly like the smoke test drives it.
+type Injector struct {
+	// Kill names the shard whose execution dies halfway through, -1 for
+	// none. Exit, when set (subprocess workers), terminates the process
+	// with FaultExitCode; otherwise the execution returns an error and
+	// leaves the shard file torn.
+	Kill int
+	Exit func(code int)
+	// Truncate names the shard whose completed file is cut to two
+	// thirds of its size, -1 for none.
+	Truncate int
+	// Dup/DupAt name a completed shard to copy over another shard's
+	// path before merge validation, -1 for none. The copy is a
+	// structurally valid shard file in the wrong place — the foreign
+	// classification, not torn.
+	Dup   int
+	DupAt int
+
+	mu    sync.Mutex
+	fired map[string]bool
+}
+
+// NewInjector returns an injector with no faults armed.
+func NewInjector() *Injector {
+	return &Injector{Kill: -1, Truncate: -1, Dup: -1, DupAt: -1}
+}
+
+// ParseFaults parses the EnvFault syntax. Empty input returns a no-op
+// injector.
+func ParseFaults(s string) (*Injector, error) {
+	inj := NewInjector()
+	if s == "" {
+		return inj, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		atoi := func(i int) (int, error) {
+			n, err := strconv.Atoi(fields[i])
+			if err != nil || n < 0 {
+				return 0, fmt.Errorf("sweep: bad fault shard index in %q", part)
+			}
+			return n, nil
+		}
+		var err error
+		switch {
+		case fields[0] == "kill" && len(fields) == 2:
+			inj.Kill, err = atoi(1)
+		case fields[0] == "truncate" && len(fields) == 2:
+			inj.Truncate, err = atoi(1)
+		case fields[0] == "dup" && len(fields) == 3:
+			if inj.Dup, err = atoi(1); err == nil {
+				inj.DupAt, err = atoi(2)
+			}
+		default:
+			return nil, fmt.Errorf("sweep: bad fault spec %q (want kill:N, truncate:N or dup:N:M)", part)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return inj, nil
+}
+
+// FaultsFromEnv builds the injector a subprocess worker runs under,
+// from the EnvFault variable. Exit is left nil; the worker CLI wires
+// os.Exit.
+func FaultsFromEnv() (*Injector, error) {
+	return ParseFaults(os.Getenv(EnvFault))
+}
+
+// once reports whether the named fault fires now, flipping it off for
+// the rest of the injector's life.
+func (inj *Injector) once(name string) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.fired[name] {
+		return false
+	}
+	if inj.fired == nil {
+		inj.fired = map[string]bool{}
+	}
+	inj.fired[name] = true
+	return true
+}
+
+func (inj *Injector) killsShard(i int) bool {
+	if inj == nil || inj.Kill != i {
+		return false
+	}
+	return inj.once(fmt.Sprintf("kill:%d", i))
+}
+
+func (inj *Injector) truncatesShard(i int) bool {
+	if inj == nil || inj.Truncate != i {
+		return false
+	}
+	return inj.once(fmt.Sprintf("truncate:%d", i))
+}
+
+// dupShards returns the armed duplicate-copy fault, if any.
+func (inj *Injector) dupShards() (src, dst int, ok bool) {
+	if inj == nil || inj.Dup < 0 || inj.DupAt < 0 {
+		return 0, 0, false
+	}
+	if !inj.once(fmt.Sprintf("dup:%d:%d", inj.Dup, inj.DupAt)) {
+		return 0, 0, false
+	}
+	return inj.Dup, inj.DupAt, true
+}
+
+// exit terminates a subprocess worker mid-fault; in-process (Exit nil)
+// it is a no-op and the caller returns an error instead.
+func (inj *Injector) exit(code int) {
+	if inj != nil && inj.Exit != nil {
+		inj.Exit(code)
+	}
+}

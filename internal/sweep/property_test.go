@@ -1,0 +1,70 @@
+package sweep_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/sweep"
+)
+
+// randomSpec draws a small random campaign: random seed, case count,
+// mix weights, parameter distributions, arrival process, sometimes a
+// fault plan. Kept tiny so the whole matrix stays fast on one CPU.
+func randomSpec(r *rand.Rand) *api.ScenarioSpec {
+	spec := &api.ScenarioSpec{
+		Name:  "prop",
+		Seed:  r.Int63n(1 << 30),
+		Cases: 3 + r.Intn(5),
+		Mix: []api.MixEntry{
+			{Family: "hamming", Weight: 1 + r.Float64(),
+				Params: map[string]api.Dist{"words": {Uniform: &api.IntRange{Min: 2, Max: 8}}}},
+			{Family: "newton", Weight: r.Float64(),
+				Params: map[string]api.Dist{"n": {Choice: []int{4, 8}}}},
+		},
+	}
+	switch r.Intn(3) {
+	case 0:
+		spec.Arrival = &api.ArrivalSpec{Kind: api.ArrivalDeterministic, IntervalNS: int64(1 + r.Intn(1000))}
+	case 1:
+		spec.Arrival = &api.ArrivalSpec{Kind: api.ArrivalPoisson, Rate: 10 + 100*r.Float64()}
+	}
+	if r.Intn(2) == 0 {
+		spec.Faults = &api.FaultPlan{Rate: 0.02 * r.Float64(), Bits: 8}
+	}
+	return spec
+}
+
+// TestPropertyMergedEqualsSingleProcess is the randomized acceptance
+// sweep: for random specs, every worker count in {1, 2, 4, 8} and a
+// random shard layout produce a merged campaign byte-identical to the
+// single-process scenario run. Runs under -race in the CI race job —
+// the worker pool, the retry counters and the execution counter are
+// all exercised concurrently.
+func TestPropertyMergedEqualsSingleProcess(t *testing.T) {
+	// Fixed seed: reproducible draws, fresh coverage per seed bump.
+	r := rand.New(rand.NewSource(99))
+	iterations := 3
+	if testing.Short() {
+		iterations = 1
+	}
+	for it := 0; it < iterations; it++ {
+		spec := randomSpec(r)
+		want := singleProcessBytes(t, spec)
+		shards := 1 + r.Intn(spec.Cases)
+		c := mustLoad(t, sweep.WrapScenario(spec, shards))
+		for _, workers := range []int{1, 2, 4, 8} {
+			res := runCoordinator(t, c, sweep.Options{Workers: workers, OutDir: t.TempDir()})
+			got := readOut(t, res)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("iteration %d (seed %d, cases %d, shards %d, workers %d): merged differs from single-process run",
+					it, spec.Seed, spec.Cases, shards, workers)
+			}
+			if res.Stats.CasesExecuted != int64(spec.Cases) {
+				t.Errorf("iteration %d workers %d: executed %d cases, want %d",
+					it, workers, res.Stats.CasesExecuted, spec.Cases)
+			}
+		}
+	}
+}

@@ -58,6 +58,19 @@ echo "replayed $(grep -c '"record":"case"' "$WORKDIR/trace.jsonl") recorded case
 CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/scenario" -d '{"name":"bad","cases":1,"mix":[]}')
 [ "$CODE" = 400 ] || { echo "scenario validation: HTTP $CODE, want 400" >&2; exit 1; }
 
+echo "== sharded sweep: one shard job streamed as shard records =="
+CAMP='{"name":"smoke-camp","shards":2,"grid":{"workloads":["hamming,words=8"],"seed_from":1,"seed_to":5}}'
+SHARD=$(curl -fsS "$BASE/v1/sweep/sharded" -d "{\"spec\":$CAMP,\"shard\":0}")
+echo "$SHARD" | head -1
+echo "$SHARD" | tail -1
+echo "$SHARD" | grep -q '"record":"shard"'
+echo "$SHARD" | grep -q '"record":"case"'
+echo "$SHARD" | grep -q '"record":"shard_result"'
+echo "$SHARD" | grep -q '"campaign":"smoke-camp"'
+# a shard index outside the campaign layout is a clean 400
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sweep/sharded" -d "{\"spec\":$CAMP,\"shard\":9}")
+[ "$CODE" = 400 ] || { echo "sharded sweep validation: HTTP $CODE, want 400" >&2; exit 1; }
+
 echo "== backends: descriptor catalog with the server default =="
 BACKENDS=$(curl -fsS "$BASE/v1/backends")
 echo "$BACKENDS"

@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Smoke-test the sharded sweep coordinator end to end, the way CI does:
+# run a single-shard reference campaign, run the same campaign sharded
+# across subprocess workers with a kill injected mid-shard (the pass
+# must fail and preserve its completed shards), resume it, and assert
+# the merged file is byte-identical to the reference and replays
+# bit-identically. Run via `make sweep-smoke`.
+set -eu
+
+WORKDIR="$(mktemp -d)"
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+go build -o "$WORKDIR/testsuite" ./cmd/testsuite
+SPEC=examples/sweeps/mixed-campaign.json
+
+echo "== reference: the same campaign as one shard, one worker =="
+"$WORKDIR/testsuite" sweep run -spec "$SPEC" -shards 1 -out-dir "$WORKDIR/ref" -q
+
+echo "== chaos: sharded subprocess campaign, worker killed mid-shard =="
+if SWEEP_FAULT=kill:1 "$WORKDIR/testsuite" sweep run -spec "$SPEC" -subprocess -out-dir "$WORKDIR/camp" -q; then
+    echo "sweep smoke: injected kill did not fail the pass" >&2
+    exit 1
+fi
+if [ -f "$WORKDIR/camp/campaign.jsonl" ]; then
+    echo "sweep smoke: merged file written despite a torn shard" >&2
+    exit 1
+fi
+"$WORKDIR/testsuite" sweep status -out-dir "$WORKDIR/camp"
+
+echo "== resume: only the lost shards re-execute =="
+"$WORKDIR/testsuite" sweep run -spec "$SPEC" -out-dir "$WORKDIR/camp" -resume -shard-workers 2 -q
+
+echo "== merged campaign is byte-identical to the single-shard reference =="
+cmp "$WORKDIR/ref/campaign.jsonl" "$WORKDIR/camp/campaign.jsonl"
+
+echo "== merged campaign replays bit-identically =="
+go run ./cmd/testsuite -replay "$WORKDIR/camp/campaign.jsonl" | grep -q "replay matches the recorded trace"
+
+echo "sweep smoke: OK"
