@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test quickstart simd smoke scenario-smoke sweep-smoke race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
+.PHONY: build test quickstart simd smoke scenario-smoke sweep-smoke sweep-chaos race bench bench-update bench-go cover lint linkcheck fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,16 @@ scenario-smoke:
 # byte-identical and replay bit-identically (docs/SWEEP.md).
 sweep-smoke:
 	sh scripts/sweep_smoke.sh
+
+# sweep-chaos runs the dispatch-layer chaos matrix under -race: fleets
+# with flaky (fail-N-then-succeed), slow (injected latency) and
+# blackholed (accept-then-hang) endpoints must route around the
+# faults, hedge the stragglers, and still merge byte-identical
+# campaigns (docs/SWEEP.md "Scheduling & fault tolerance").
+sweep-chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaosMatrixFleet|TestRouteAroundDeadEndpoint|TestFallbackWhenFleetQuarantined|TestSlowEndpointStillMerges|TestRemoteErrorClassification|TestFleetRoutesAroundDeadRemote' \
+		./internal/sweep/ ./internal/simd/
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/hades/... \
@@ -106,4 +116,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check lint test quickstart smoke scenario-smoke sweep-smoke race cover bench
+ci: build vet fmt-check lint test quickstart smoke scenario-smoke sweep-smoke sweep-chaos race cover bench

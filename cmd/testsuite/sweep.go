@@ -2,9 +2,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -22,8 +26,10 @@ import (
 //	testsuite sweep run -spec campaign.json -out-dir out/ -resume
 //	testsuite sweep run -spec campaign.json -out-dir out/ -subprocess
 //	testsuite sweep run -spec campaign.json -out-dir out/ -remote http://a:8080,http://b:8080
+//	testsuite sweep run -spec campaign.json -out-dir out/ -progress :8090
 //	testsuite sweep worker -spec out/campaign.json -shard 3 -shard-out out/shard-0003.jsonl
 //	testsuite sweep status -out-dir out/
+//	testsuite sweep status -follow -url http://host:8090
 //	testsuite sweep merge -out-dir out/ -out campaign.jsonl
 func runSweep(args []string) error {
 	if len(args) == 0 {
@@ -100,6 +106,8 @@ func sweepRun(args []string) error {
 		backoff      = fs.Duration("backoff", 100*time.Millisecond, "base backoff between shard retries")
 		maxFailures  = fs.Int("max-failures", 1, "failed shards tolerated before aborting the pass")
 		backend      = fs.String("backend", "", "simulator backend override for the whole campaign")
+		progress     = fs.String("progress", "", "serve live progress on this address (/progressz, /debug/vars)")
+		shardTimeout = fs.Duration("shard-timeout", 0, "per-attempt deadline for one shard (0 = none)")
 		quiet        = fs.Bool("q", false, "suppress per-shard progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -129,16 +137,25 @@ func sweepRun(args []string) error {
 	}
 
 	opts := sweep.Options{
-		Workers:     *workers,
-		OutDir:      dir,
-		Out:         *out,
-		Resume:      *resume,
-		Retries:     *retries,
-		Backoff:     *backoff,
-		MaxFailures: *maxFailures,
+		Workers:      *workers,
+		OutDir:       dir,
+		Out:          *out,
+		Resume:       *resume,
+		Retries:      *retries,
+		Backoff:      *backoff,
+		MaxFailures:  *maxFailures,
+		ShardTimeout: *shardTimeout,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *progress != "" {
+		tracker, srv, err := serveProgress(*progress)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		opts.OnProgress = tracker.Update
 	}
 	switch {
 	case *remote != "":
@@ -153,7 +170,11 @@ func sweepRun(args []string) error {
 		if len(clients) == 0 {
 			return fmt.Errorf("sweep: -remote lists no server URLs")
 		}
-		opts.Worker = &simd.ShardWorker{Clients: clients}
+		// Each server is its own endpoint: independently health-tracked,
+		// quarantined and hedged against, with -shard-workers concurrent
+		// shards apiece.
+		fleet := &simd.ShardWorker{Clients: clients}
+		opts.Endpoints = fleet.Endpoints(*workers)
 	case *subprocess:
 		self, err := os.Executable()
 		if err != nil {
@@ -218,14 +239,98 @@ func sweepWorker(args []string) error {
 	return err
 }
 
+// serveProgress exposes a live coordinator over HTTP: /progressz
+// serves the latest sweep.Progress snapshot as JSON (503 until the
+// first one exists) and /debug/vars the process expvars, including
+// the "sweep" dispatch counters shared with simd's /statsz world.
+func serveProgress(addr string) (*sweep.ProgressTracker, *http.Server, error) {
+	tracker := &sweep.ProgressTracker{}
+	mux := http.NewServeMux()
+	mux.Handle("/progressz", tracker.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: -progress: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "sweep: serving progress on http://%s/progressz\n", ln.Addr())
+	return tracker, srv, nil
+}
+
+// followProgress polls a coordinator's /progressz until the campaign
+// finishes, printing one status line per poll.
+func followProgress(base string, interval time.Duration) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/progressz"
+	seen := false
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			if seen {
+				// The coordinator served snapshots and is now gone: the
+				// pass ended (its -progress server dies with the process).
+				fmt.Println("coordinator exited; pass ended")
+				return nil
+			}
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			fmt.Println("waiting for the first snapshot...")
+			time.Sleep(interval)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("sweep: %s: HTTP %d", url, resp.StatusCode)
+		}
+		var p sweep.Progress
+		err = json.NewDecoder(resp.Body).Decode(&p)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("sweep: decoding %s: %w", url, err)
+		}
+		line := fmt.Sprintf("%s: %d/%d shards (%d running, %d pending, %d failed)  cases %d/%d",
+			p.Campaign, p.Done, p.Shards, p.Running, p.Pending, p.Failed, p.CasesDone, p.CasesTotal)
+		if p.Hedges+p.Steals+p.Requeues+p.Fallbacks > 0 {
+			line += fmt.Sprintf("  hedges=%d steals=%d requeues=%d fallbacks=%d",
+				p.Hedges, p.Steals, p.Requeues, p.Fallbacks)
+		}
+		if p.EtaNS > 0 && p.Done+p.Failed < p.Shards {
+			line += "  eta=" + time.Duration(p.EtaNS).Round(100*time.Millisecond).String()
+		}
+		fmt.Println(line)
+		seen = true
+		if p.Done+p.Failed >= p.Shards {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
 // sweepStatus classifies every shard file in -out-dir against the
 // campaign spec stored there: valid shards survive a resume, the rest
-// re-run.
+// re-run. With -follow it instead polls a live coordinator started
+// with -progress and streams its view of the pass.
 func sweepStatus(args []string) error {
 	fs := flag.NewFlagSet("sweep status", flag.ContinueOnError)
-	outDir := fs.String("out-dir", "", "shard directory to inspect")
+	var (
+		outDir   = fs.String("out-dir", "", "shard directory to inspect")
+		follow   = fs.Bool("follow", false, "poll a live coordinator's /progressz until the pass ends")
+		url      = fs.String("url", "", "coordinator progress address for -follow, e.g. http://host:8090")
+		interval = fs.Duration("interval", time.Second, "poll interval for -follow")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow {
+		if *url == "" {
+			return fmt.Errorf("sweep: status -follow needs -url (the coordinator's -progress address)")
+		}
+		return followProgress(*url, *interval)
 	}
 	if *outDir == "" {
 		return fmt.Errorf("sweep: status needs -out-dir")
@@ -282,10 +387,18 @@ func sweepMerge(args []string) error {
 	return nil
 }
 
-// reportSweep prints the per-shard outcome table and campaign totals.
+// reportSweep prints the per-shard outcome table, campaign totals,
+// and — when the dispatch layer had to intervene — its counters and
+// the health of every endpoint that ended up degraded.
 func reportSweep(w io.Writer, res *sweep.Result) {
 	for _, st := range res.Shards {
 		line := fmt.Sprintf("shard %4d  %-7s  worker=%s attempts=%d", st.Shard, st.State, st.Worker, st.Attempts)
+		if st.Endpoint != "" && st.Endpoint != st.Worker {
+			line += "  endpoint=" + st.Endpoint
+		}
+		if st.HedgeWon {
+			line += "  hedged"
+		}
 		if st.Error != "" {
 			line += "  error=" + st.Error
 		}
@@ -295,4 +408,15 @@ func reportSweep(w io.Writer, res *sweep.Result) {
 	fmt.Fprintf(w, "sweep %s: %d executed, %d skipped, %d failed, %d retried; %d cases in %v\n",
 		s.Campaign, s.Executed, s.Skipped, s.Failed, s.Retried, s.CasesExecuted,
 		time.Duration(s.WallNS).Round(time.Millisecond))
+	if s.Hedges+s.Steals+s.Requeues+s.Fallbacks > 0 {
+		fmt.Fprintf(w, "dispatch: %d hedges (%d won), %d steals, %d requeues, %d fallbacks\n",
+			s.Hedges, s.HedgesWon, s.Steals, s.Requeues, s.Fallbacks)
+	}
+	for _, wh := range s.WorkerHealth {
+		if wh.State != "healthy" || wh.Failures > 0 {
+			fmt.Fprintf(w, "worker %s: %s (%d ok, %d failed, ewma %v)\n",
+				wh.Name, wh.State, wh.Successes, wh.Failures,
+				time.Duration(wh.LatencyEWMANS).Round(time.Millisecond))
+		}
+	}
 }

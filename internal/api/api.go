@@ -306,4 +306,12 @@ type ServerStats struct {
 	// schema unchanged); Backend is the server's default.
 	Backend  string        `json:"backend,omitempty"`
 	Backends []BackendInfo `json:"backends,omitempty"`
+
+	// Sharded-sweep serving counters (additive; schema unchanged): the
+	// shard jobs this server executed for sweep coordinators and the
+	// cases they covered. A coordinator's own counters live in its
+	// SweepStats sidecar / SweepProgress — these are the worker-side
+	// mirror, so a fleet's /statsz pages tell the same story.
+	SweepShards     int64 `json:"sweep_shards,omitempty"`
+	SweepShardCases int64 `json:"sweep_shard_cases,omitempty"`
 }

@@ -150,6 +150,9 @@ const (
 	RecordShardStats = "shard_stats"
 	// RecordSweepStats is the sidecar's trailing campaign aggregate.
 	RecordSweepStats = "sweep_stats"
+	// RecordSweepProgress is a live coordinator snapshot (the /progressz
+	// payload); never written to a shard or campaign file.
+	RecordSweepProgress = "sweep_progress"
 )
 
 // ShardHeader is the first line of a shard file: which campaign layout
@@ -204,6 +207,19 @@ type ShardStats struct {
 	State    string `json:"state"`            // valid, torn, foreign, missing, failed
 	Error    string `json:"error,omitempty"`
 	WallNS   int64  `json:"wall_ns"`
+	// Endpoint names the fleet endpoint that produced the winning shard
+	// file (empty before completion and on skipped shards).
+	Endpoint string `json:"endpoint,omitempty"`
+	// Hedges counts speculative re-dispatches of this shard; HedgeWon
+	// marks a hedge attempt (not the primary) producing the winning file.
+	Hedges   int  `json:"hedges,omitempty"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
+	// Stolen marks a shard executed by an endpoint other than its
+	// round-robin home placement.
+	Stolen bool `json:"stolen,omitempty"`
+	// Requeues counts endpoint-attributed failures that re-queued the
+	// shard without charging its retry budget (route-around, not retry).
+	Requeues int `json:"requeues,omitempty"`
 }
 
 // SweepStats is the sidecar's trailing aggregate for one coordinator
@@ -227,4 +243,62 @@ type SweepStats struct {
 	WallNS        int64  `json:"wall_ns"`
 	UnixTime      int64  `json:"unix_time"`
 	GoVersion     string `json:"go_version,omitempty"`
+	// Resilient-dispatch accounting (additive; schema unchanged).
+	Hedges    int `json:"hedges,omitempty"`     // speculative re-dispatches launched
+	HedgesWon int `json:"hedges_won,omitempty"` // hedges whose file won the shard
+	Steals    int `json:"steals,omitempty"`     // shards completed off their home endpoint
+	Requeues  int `json:"requeues,omitempty"`   // endpoint-attributed free re-queues
+	Fallbacks int `json:"fallbacks,omitempty"`  // shards run on the local fallback worker
+	// WorkerHealth snapshots every fleet endpoint's health model at the
+	// end of the pass.
+	WorkerHealth []WorkerHealth `json:"worker_health,omitempty"`
+}
+
+// WorkerHealth is one endpoint's health-model snapshot: circuit-breaker
+// state, consecutive failures, and the latency EWMA the hedging
+// deadline derives from. Carried in the stats sidecar, SweepProgress
+// and /progressz — never in a shard or campaign file.
+type WorkerHealth struct {
+	Name string `json:"name"`
+	// State is the circuit-breaker state: "healthy" (closed), "open"
+	// (quarantined, routed around) or "half-open" (probing).
+	State string `json:"state"`
+	// ConsecutiveFailures is the breaker's trip counter; it resets on
+	// every success.
+	ConsecutiveFailures int   `json:"consecutive_failures,omitempty"`
+	Failures            int64 `json:"failures,omitempty"`
+	Successes           int64 `json:"successes,omitempty"`
+	// LatencyEWMANS is the endpoint's exponentially weighted moving
+	// average of per-shard wall time, in nanoseconds.
+	LatencyEWMANS int64 `json:"latency_ewma_ns,omitempty"`
+	// Probes counts half-open probe shards dispatched to this endpoint.
+	Probes int64 `json:"probes,omitempty"`
+}
+
+// SweepProgress is a live coordinator snapshot: the /progressz payload
+// and the shape `testsuite sweep status -follow` renders. Shards move
+// pending -> running -> done/failed; retried/hedged/stolen count
+// dispatch events, not shards, so they can exceed the shard count.
+type SweepProgress struct {
+	SchemaVersion  int    `json:"schema_version,omitempty"`
+	Record         string `json:"record"` // RecordSweepProgress
+	Campaign       string `json:"campaign"`
+	CampaignDigest string `json:"campaign_digest"`
+	Shards         int    `json:"shards"`
+	Done           int    `json:"done"` // valid (includes resumed-as-valid)
+	Running        int    `json:"running"`
+	Pending        int    `json:"pending"`
+	Failed         int    `json:"failed"`
+	Retried        int    `json:"retried"`
+	Hedges         int    `json:"hedges,omitempty"`
+	Steals         int    `json:"steals,omitempty"`
+	Requeues       int    `json:"requeues,omitempty"`
+	Fallbacks      int    `json:"fallbacks,omitempty"`
+	CasesTotal     int    `json:"cases_total"`
+	CasesDone      int    `json:"cases_done"`
+	ElapsedNS      int64  `json:"elapsed_ns"`
+	// EtaNS estimates the remaining wall time from the fleet's per-shard
+	// latency EWMA and the live slot count; 0 means no estimate yet.
+	EtaNS   int64          `json:"eta_ns,omitempty"`
+	Workers []WorkerHealth `json:"workers,omitempty"`
 }

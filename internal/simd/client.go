@@ -181,8 +181,23 @@ func decodeStream(r io.Reader) (*Result, error) {
 	return res, nil
 }
 
+// StatusError is any other non-200 reply, keeping the status code so
+// callers can tell a client error (4xx: the request itself is wrong
+// and will be wrong on every server) from a server error (5xx: this
+// endpoint is unhealthy, another may serve the same request fine).
+type StatusError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error, preserving the legacy message shape.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("simd: HTTP %d: %s", e.Status, e.Message)
+}
+
 // httpError turns a non-200 reply into a typed error: 429 becomes an
-// *OverloadedError so callers can back off programmatically.
+// *OverloadedError so callers can back off programmatically, anything
+// else a *StatusError so they can classify by status code.
 func httpError(resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	text := strings.TrimSpace(string(msg))
@@ -193,5 +208,8 @@ func httpError(resp *http.Response) error {
 		}
 		return &OverloadedError{RetryAfter: retry, Message: text}
 	}
-	return fmt.Errorf("simd: HTTP %d: %s", resp.StatusCode, text)
+	return &StatusError{Status: resp.StatusCode, Message: text}
 }
+
+// BaseURL reports the server base URL this client targets.
+func (c *Client) BaseURL() string { return c.base }

@@ -139,6 +139,9 @@ type Server struct {
 	rejected atomic.Int64 // shed with 429
 	failed   atomic.Int64 // admitted but errored
 	inFlight atomic.Int64
+
+	sweepShards     atomic.Int64 // sharded-sweep jobs served to completion
+	sweepShardCases atomic.Int64 // cases covered by those jobs
 }
 
 // New builds a server from the config.
@@ -447,6 +450,8 @@ func (s *Server) Stats() api.ServerStats {
 	}
 	st.Backend = s.cfg.Backend
 	st.Backends = backendInfos()
+	st.SweepShards = s.sweepShards.Load()
+	st.SweepShardCases = s.sweepShardCases.Load()
 	for _, sess := range s.pool.sessions() {
 		ss := sess.Stats()
 		st.Elaborations += ss.Elaborations

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -89,9 +90,13 @@ func (s *Server) handleShardedSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	fw := flushWriter{w: w}
 	fw.f, _ = w.(http.Flusher)
-	if _, err := sweep.ExecuteShard(ctx, c, sh, fw, nil); err != nil {
+	n, err := sweep.ExecuteShard(ctx, c, sh, fw, nil)
+	if err != nil {
 		s.failed.Add(1)
+		return
 	}
+	s.sweepShards.Add(1)
+	s.sweepShardCases.Add(int64(n))
 }
 
 // ShardedSweep posts one shard job and copies the streamed shard
@@ -138,7 +143,12 @@ type ShardWorker struct {
 func (sw *ShardWorker) Name() string { return "remote" }
 
 // RunShard implements sweep.Worker: stream the shard from the remote
-// server straight into the shard file.
+// server straight into the shard file. Failures are classified for
+// the dispatch layer: a 400/422 means the spec itself was rejected —
+// permanent, no server will ever accept it — while transport errors,
+// interrupted streams, overload sheds and 5xx are the endpoint's
+// fault and requeue for a different server without charging the
+// shard's retry budget.
 func (sw *ShardWorker) RunShard(ctx context.Context, c *sweep.Campaign, sh sweep.Shard, path string) error {
 	if len(sw.Clients) == 0 {
 		return fmt.Errorf("simd: shard worker has no servers")
@@ -150,8 +160,46 @@ func (sw *ShardWorker) RunShard(ctx context.Context, c *sweep.Campaign, sh sweep
 	}
 	req := api.SweepRequest{Spec: *c.Spec, Shard: sh.Index}
 	err = cl.ShardedSweep(ctx, req, f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	cerr := f.Close()
+	if err != nil {
+		return classifyRemoteError(err)
 	}
-	return err
+	return cerr
+}
+
+// classifyRemoteError attributes a remote shard failure: permanent
+// for spec rejections (4xx other than timeout/overload), endpoint
+// fault for everything the server side or the network did wrong.
+func classifyRemoteError(err error) error {
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch {
+		case se.Status == http.StatusRequestTimeout:
+			return sweep.EndpointFault(err)
+		case se.Status >= 400 && se.Status < 500:
+			return sweep.Permanent(err)
+		default:
+			return sweep.EndpointFault(err)
+		}
+	}
+	// OverloadedError (429), transport failures, torn streams: the
+	// endpoint's problem, not the shard's.
+	return sweep.EndpointFault(err)
+}
+
+// Endpoints splits the worker into one independently health-tracked
+// endpoint per server, each admitting slots concurrent shards — the
+// fleet form the dispatch layer's circuit breakers and hedging want.
+// A single multi-client ShardWorker used directly still works, but is
+// tracked (and quarantined) as one unit.
+func (sw *ShardWorker) Endpoints(slots int) []sweep.Endpoint {
+	eps := make([]sweep.Endpoint, len(sw.Clients))
+	for i, cl := range sw.Clients {
+		eps[i] = sweep.Endpoint{
+			Worker: &ShardWorker{Clients: []*Client{cl}},
+			Name:   fmt.Sprintf("remote[%d] %s", i, cl.BaseURL()),
+			Slots:  slots,
+		}
+	}
+	return eps
 }

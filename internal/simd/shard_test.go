@@ -3,10 +3,12 @@ package simd_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/scenario"
@@ -159,5 +161,142 @@ func TestShardedSweepValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRemoteErrorClassification pins the transport-vs-4xx contract: a
+// 400-class spec rejection is permanent — retrying on another server
+// cannot help and must not burn the shard's retry budget — while a
+// refused connection is the endpoint's fault and requeues for free.
+func TestRemoteErrorClassification(t *testing.T) {
+	// A shard over the server's per-shard cap draws an HTTP 400.
+	_, capped := testServer(t, simd.Config{Workers: 1, MaxShardCases: 2})
+	c, err := sweep.Load(sweep.WrapScenario(shardScenarioSpec(11, 4), 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w := &simd.ShardWorker{Clients: []*simd.Client{capped}}
+	err = w.RunShard(context.Background(), c, c.Shards()[0], sweep.ShardPath(dir, 0))
+	if !sweep.IsPermanent(err) {
+		t.Errorf("HTTP 400 classified %v, want permanent", err)
+	}
+	if sweep.IsEndpointFault(err) {
+		t.Errorf("HTTP 400 also classified as endpoint fault: %v", err)
+	}
+	var se *simd.StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Errorf("status not preserved through classification: %v", err)
+	}
+
+	// A connection nobody answers is the endpoint's problem.
+	dead := &simd.ShardWorker{Clients: []*simd.Client{simd.NewClient("http://127.0.0.1:1", nil)}}
+	err = dead.RunShard(context.Background(), c, c.Shards()[0], sweep.ShardPath(dir, 0))
+	if !sweep.IsEndpointFault(err) {
+		t.Errorf("refused connection classified %v, want endpoint fault", err)
+	}
+	if sweep.IsPermanent(err) {
+		t.Errorf("refused connection also classified as permanent: %v", err)
+	}
+
+	// End to end: the coordinator fails the shard on the first attempt
+	// with the whole retry budget unspent.
+	res, err := sweep.Run(context.Background(), c, sweep.Options{
+		OutDir:      t.TempDir(),
+		Workers:     1,
+		Retries:     3,
+		MaxFailures: 1,
+		Worker:      w,
+	})
+	if err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("capped campaign: err=%v, want incomplete-pass error", err)
+	}
+	if got := res.Shards[0].Attempts; got != 1 {
+		t.Errorf("attempts=%d, want 1: a 400 must not be retried", got)
+	}
+	if res.Stats.Retried != 0 {
+		t.Errorf("retried=%d, want 0", res.Stats.Retried)
+	}
+}
+
+// TestFleetRoutesAroundDeadRemote runs a two-server fleet where one
+// endpoint is unreachable: the campaign completes on the live server,
+// merges byte-identically, and the dead endpoint costs requeues —
+// never shard retries.
+func TestFleetRoutesAroundDeadRemote(t *testing.T) {
+	_, live := testServer(t, simd.Config{Workers: 2})
+	spec := shardScenarioSpec(12, 6)
+	sc, err := scenario.Load(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := sc.Run(context.Background(), scenario.Options{}, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := sweep.Load(sweep.WrapScenario(spec, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &simd.ShardWorker{Clients: []*simd.Client{live, simd.NewClient("http://127.0.0.1:1", nil)}}
+	res, err := sweep.Run(context.Background(), c, sweep.Options{
+		OutDir:          t.TempDir(),
+		MaxFailures:     1,
+		Endpoints:       fleet.Endpoints(1),
+		BreakerCooldown: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(res.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("fleet merge with a dead endpoint differs from single-process run")
+	}
+	if res.Stats.Retried != 0 {
+		t.Errorf("retried=%d, want 0: the dead server must not burn the retry budget", res.Stats.Retried)
+	}
+	if res.Stats.Requeues == 0 {
+		t.Error("requeues=0, want the dead server's shards requeued on the live one")
+	}
+	var deadHealth *api.WorkerHealth
+	for i := range res.Stats.WorkerHealth {
+		if strings.Contains(res.Stats.WorkerHealth[i].Name, "127.0.0.1:1") {
+			deadHealth = &res.Stats.WorkerHealth[i]
+		}
+	}
+	if deadHealth == nil {
+		t.Fatal("dead endpoint missing from worker health")
+	}
+	if deadHealth.Failures == 0 {
+		t.Error("dead endpoint reports no failures")
+	}
+}
+
+// TestServerCountsSweepShards pins the ShardWorker health signal on
+// the server side: /statsz reports how many shards and cases the
+// server has executed for coordinators.
+func TestServerCountsSweepShards(t *testing.T) {
+	_, client := testServer(t, simd.Config{Workers: 1})
+	c, err := sweep.Load(sweep.WrapScenario(shardScenarioSpec(13, 4), 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		buf.Reset()
+		if err := client.ShardedSweep(context.Background(), api.SweepRequest{Spec: *c.Spec, Shard: i}, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SweepShards != 2 || st.SweepShardCases != 4 {
+		t.Errorf("sweep counters = %d shards / %d cases, want 2/4", st.SweepShards, st.SweepShardCases)
 	}
 }

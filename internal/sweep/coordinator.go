@@ -9,8 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -32,16 +30,55 @@ type Options struct {
 	Resume bool
 	// Retries is the extra attempts per shard beyond the first.
 	Retries int
-	// Backoff is the wait before each retry (default 100ms).
+	// Backoff is the base wait before a retry (default 100ms). Actual
+	// waits use decorrelated jitter in [Backoff, BackoffCap] so
+	// simultaneous failures spread out instead of retrying in lockstep.
 	Backoff time.Duration
+	// BackoffCap bounds the jittered retry backoff (default 10×Backoff).
+	BackoffCap time.Duration
 	// MaxFailures is the fail-fast budget: once this many shards have
 	// exhausted their retries, in-flight work is cancelled (default 1).
 	MaxFailures int
-	// Worker executes shards (default an in-process LocalWorker).
+	// Worker executes shards (default an in-process LocalWorker). When
+	// Endpoints is empty, the coordinator wraps Worker as a single
+	// endpoint with Workers slots.
 	Worker Worker
+	// Endpoints, when set, spreads shards across independently
+	// health-tracked workers: each gets its own circuit breaker and
+	// latency EWMA, its Slots concurrent shards, and work-stealing /
+	// hedging move shards between them. Overrides Worker and Workers
+	// for execution.
+	Endpoints []Endpoint
+	// Fallback executes shards when every endpoint's breaker is open —
+	// graceful degradation instead of a failed campaign (default: an
+	// in-process LocalWorker sharing Injector).
+	Fallback Worker
+	// HedgeFactor is the straggler multiple k: a running shard older
+	// than k× the fleet latency EWMA may be speculatively re-dispatched
+	// to another healthy endpoint, first valid shard file wins
+	// (default 3; hedging needs at least two endpoints).
+	HedgeFactor float64
+	// HedgeMin floors the hedge age threshold (default 200ms).
+	HedgeMin time.Duration
+	// MaxHedges caps concurrent extra attempts per shard (default 1).
+	MaxHedges int
+	// ShardTimeout bounds a single shard attempt; 0 means unbounded.
+	// The safety net for a fleet whose every endpoint accepts work and
+	// hangs — hedging only rescues stragglers while someone completes.
+	ShardTimeout time.Duration
+	// BreakerFailures is the consecutive-failure count that opens an
+	// endpoint's circuit (default 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open circuit parks before letting
+	// a half-open probe shard through (default 500ms, jittered).
+	BreakerCooldown time.Duration
 	// Injector arms test-only chaos; it is handed to the default
 	// LocalWorker and drives the coordinator-side duplicate-shard fault.
 	Injector *Injector
+	// OnProgress, when set, receives a live Progress snapshot after
+	// every dispatch and settle (called synchronously under the
+	// dispatcher lock — hand it to a ProgressTracker, don't block).
+	OnProgress func(Progress)
 	// Log, when set, receives human progress lines.
 	Log io.Writer
 }
@@ -86,8 +123,14 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*Result, error) {
 	if opts.Backoff <= 0 {
 		opts.Backoff = 100 * time.Millisecond
 	}
-	if opts.Worker == nil {
+	if opts.Worker == nil && len(opts.Endpoints) == 0 {
 		opts.Worker = &LocalWorker{Injector: opts.Injector}
+	}
+	planWorker := "local"
+	if opts.Worker != nil {
+		planWorker = opts.Worker.Name()
+	} else if len(opts.Endpoints) > 0 {
+		planWorker = opts.Endpoints[0].Worker.Name()
 	}
 	if opts.OutDir == "" {
 		return nil, fmt.Errorf("sweep: coordinator needs an out dir")
@@ -121,7 +164,7 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*Result, error) {
 			Shard:         sh.Index,
 			From:          sh.From,
 			To:            sh.To,
-			Worker:        opts.Worker.Name(),
+			Worker:        planWorker,
 		}
 		if opts.Resume {
 			info, err := InspectShard(ShardPath(opts.OutDir, sh.Index), c.ShardHeader(sh))
@@ -139,32 +182,22 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*Result, error) {
 		queue = append(queue, sh)
 	}
 
-	// Execute: a bounded pool, per-shard retry with backoff, and a
-	// fail-fast budget that cancels in-flight shards (whose torn files a
-	// resume pass then re-executes — a killed worker never costs more
-	// than its in-flight shard).
+	// Execute on the resilient dispatch layer: per-endpoint circuit
+	// breakers, a work-stealing FIFO queue, hedged stragglers, jittered
+	// retry backoff, the fail-fast budget cancelling in-flight shards
+	// (whose torn files a resume pass then re-executes — a killed
+	// worker never costs more than its in-flight shard), and local
+	// fallback when the whole fleet is quarantined.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var failures, retried atomic.Int64
-	jobs := make(chan Shard)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for sh := range jobs {
-				runShard(runCtx, c, sh, &res.Shards[sh.Index], opts, &retried)
-				if res.Shards[sh.Index].State != StateValid && failures.Add(1) >= int64(opts.MaxFailures) {
-					cancel()
-				}
-			}
-		}()
+	skippedCases := 0
+	for i := range res.Shards {
+		if res.Shards[i].Skipped {
+			skippedCases += res.Shards[i].To - res.Shards[i].From
+		}
 	}
-	for _, sh := range queue {
-		jobs <- sh
-	}
-	close(jobs)
-	wg.Wait()
+	d := newDispatcher(runCtx, cancel, c, opts, queue, res, skippedCases)
+	d.run()
 
 	// Coordinator-side chaos: duplicate a completed shard over another
 	// shard's path. The final validation below classifies it foreign.
@@ -193,7 +226,7 @@ func Run(ctx context.Context, c *Campaign, opts Options) (*Result, error) {
 			}
 		}
 	}
-	res.Stats = sweepStats(c, res, opts, len(queue), int(retried.Load()), start)
+	res.Stats = sweepStats(c, res, opts, d, len(queue), start)
 	if serr := writeStats(res); serr != nil {
 		return res, serr
 	}
@@ -229,51 +262,6 @@ func MergeDir(c *Campaign, dir, out string) error {
 		}
 	}
 	return merge(c, shards, Options{OutDir: dir, Out: out})
-}
-
-// runShard drives one shard through its retry budget, validating the
-// file after every attempt (trust, but verify: a worker that claims
-// success with a torn file is retried like a crashed one).
-func runShard(ctx context.Context, c *Campaign, sh Shard, st *api.ShardStats, opts Options, retried *atomic.Int64) {
-	t0 := time.Now()
-	defer func() { st.WallNS = time.Since(t0).Nanoseconds() }()
-	path := ShardPath(opts.OutDir, sh.Index)
-	var lastErr error
-	for attempt := 0; attempt <= opts.Retries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			lastErr = err
-			break
-		}
-		if attempt > 0 {
-			retried.Add(1)
-			if !sleepCtx(ctx, opts.Backoff) {
-				lastErr = ctx.Err()
-				break
-			}
-		}
-		st.Attempts++
-		err := opts.Worker.RunShard(ctx, c, sh, path)
-		info, ierr := InspectShard(path, c.ShardHeader(sh))
-		if ierr != nil {
-			lastErr = ierr
-			break
-		}
-		if info.State == StateValid {
-			st.State = StateValid
-			st.Error = ""
-			logf(opts.Log, "shard %d/%d [%d,%d) valid (attempt %d)", sh.Index, sh.Count, sh.From, sh.To, st.Attempts)
-			return
-		}
-		if err == nil {
-			err = fmt.Errorf("worker reported success but shard file is %s: %s", info.State, info.Reason)
-		}
-		lastErr = err
-		logf(opts.Log, "shard %d/%d [%d,%d) attempt %d failed: %v", sh.Index, sh.Count, sh.From, sh.To, st.Attempts, err)
-	}
-	st.State = "failed"
-	if lastErr != nil {
-		st.Error = lastErr.Error()
-	}
 }
 
 // merge streams the validated shard files, in shard order, into the
@@ -375,7 +363,14 @@ func writeStats(res *Result) error {
 	return f.Close()
 }
 
-func sweepStats(c *Campaign, res *Result, opts Options, executed, retried int, start time.Time) api.SweepStats {
+func sweepStats(c *Campaign, res *Result, opts Options, d *dispatcher, executed int, start time.Time) api.SweepStats {
+	workers := opts.Workers
+	if len(opts.Endpoints) > 0 {
+		workers = 0
+		for _, ep := range d.eps {
+			workers += ep.Slots
+		}
+	}
 	s := api.SweepStats{
 		SchemaVersion:  api.SchemaVersion,
 		Record:         api.RecordSweepStats,
@@ -383,12 +378,20 @@ func sweepStats(c *Campaign, res *Result, opts Options, executed, retried int, s
 		CampaignDigest: c.Digest,
 		Cases:          c.Cases(),
 		Shards:         c.Spec.Shards,
-		Workers:        opts.Workers,
+		Workers:        workers,
 		Executed:       executed,
-		Retried:        retried,
+		Retried:        d.retried,
+		Hedges:         d.hedges,
+		HedgesWon:      d.hedgesWon,
+		Steals:         d.steals,
+		Requeues:       d.requeues,
+		Fallbacks:      d.fallbacks,
 		WallNS:         time.Since(start).Nanoseconds(),
 		UnixTime:       time.Now().Unix(),
 		GoVersion:      runtime.Version(),
+	}
+	for _, ep := range d.eps {
+		s.WorkerHealth = append(s.WorkerHealth, ep.snapshot())
 	}
 	for i := range res.Shards {
 		if res.Shards[i].Skipped {

@@ -1,0 +1,67 @@
+package sweep
+
+import "errors"
+
+// Failure attribution. The dispatcher treats a failed shard attempt
+// differently depending on *whose fault it was*:
+//
+//   - A PermanentError is the campaign's fault — the spec was rejected
+//     (e.g. an HTTP 400/422 from a simd server). No retry can fix it,
+//     so the shard fails immediately without charging the retry budget
+//     or the endpoint's circuit breaker.
+//   - An EndpointError is the worker's fault — a transport failure, an
+//     interrupted stream, a 5xx, an overload shed. The shard itself is
+//     fine, so it re-queues for a *different* endpoint free of charge,
+//     while the failing endpoint's breaker is charged. Only when a
+//     shard has failed on every independent endpoint does the blame
+//     flip back to the shard and its retry budget.
+//   - Anything else (an in-process execution error, a torn file after
+//     a claimed success) is attributed to the shard and consumes its
+//     retry budget — the pre-dispatcher semantics the chaos suite pins.
+
+// PermanentError marks a shard failure that retrying cannot fix.
+type PermanentError struct{ Err error }
+
+// Error implements error.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err as a PermanentError (nil stays nil).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PermanentError{Err: err}
+}
+
+// IsPermanent reports whether err is marked permanent.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe)
+}
+
+// EndpointError attributes a shard failure to the endpoint that ran
+// it, not to the shard.
+type EndpointError struct{ Err error }
+
+// Error implements error.
+func (e *EndpointError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *EndpointError) Unwrap() error { return e.Err }
+
+// EndpointFault wraps err as an EndpointError (nil stays nil).
+func EndpointFault(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &EndpointError{Err: err}
+}
+
+// IsEndpointFault reports whether err is attributed to the endpoint.
+func IsEndpointFault(err error) bool {
+	var ee *EndpointError
+	return errors.As(err, &ee)
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // EnvFault is the environment knob subprocess workers read to arm
@@ -13,9 +14,21 @@ import (
 // "kill:1" (die mid-shard while executing shard 1), "truncate:2"
 // (truncate shard 2's completed file mid-case), "dup:1:3" (the
 // coordinator copies shard 1's completed file over shard 3's path
-// before merge validation). Test-only: the chaos suite and the
-// sweep-smoke CI step set it; production campaigns never should.
+// before merge validation), "flaky:0:2" (fail shard 0 with an
+// endpoint-attributed error twice before executing it), "slow:1:50"
+// (delay every execution of shard 1 by 50ms), "blackhole:2" (accept
+// shard 2, write its header, then hang until cancelled). The shard
+// index in flaky/slow/blackhole may be "*" to match every shard —
+// that is how a whole endpoint is made flaky, slow or dead: give its
+// worker an injector with a wildcard fault. Test-only: the chaos
+// suite and the sweep-smoke CI step set it; production campaigns
+// never should.
 const EnvFault = "SWEEP_FAULT"
+
+// AnyShard is the wildcard shard index ("*" in EnvFault syntax):
+// flaky, slow and blackhole faults armed with it apply to every shard
+// the injector's worker executes.
+const AnyShard = -2
 
 // FaultExitCode is the exit status an injected kill dies with in a
 // subprocess worker — distinguishable from an ordinary failure (1) or
@@ -44,14 +57,31 @@ type Injector struct {
 	// classification, not torn.
 	Dup   int
 	DupAt int
+	// Flaky names the shard (or AnyShard) whose execution fails with an
+	// endpoint-attributed error FlakyTimes times before running clean —
+	// the fail-N-then-succeed worker. Unlike kill, the failure happens
+	// before any write, like a refused connection.
+	Flaky      int
+	FlakyTimes int
+	// Slow names the shard (or AnyShard) whose every execution is
+	// delayed by SlowDelay before the first case runs — the straggler
+	// worker the hedging layer routes around.
+	Slow      int
+	SlowDelay time.Duration
+	// Blackhole names the shard (or AnyShard) whose execution writes
+	// the shard header and then hangs until its context is cancelled —
+	// the accept-then-hang worker only a hedge or timeout rescues.
+	Blackhole int
 
-	mu    sync.Mutex
-	fired map[string]bool
+	mu        sync.Mutex
+	fired     map[string]bool
+	flakyLeft int
+	flakyInit sync.Once
 }
 
 // NewInjector returns an injector with no faults armed.
 func NewInjector() *Injector {
-	return &Injector{Kill: -1, Truncate: -1, Dup: -1, DupAt: -1}
+	return &Injector{Kill: -1, Truncate: -1, Dup: -1, DupAt: -1, Flaky: -1, Slow: -1, Blackhole: -1}
 }
 
 // ParseFaults parses the EnvFault syntax. Empty input returns a no-op
@@ -70,6 +100,13 @@ func ParseFaults(s string) (*Injector, error) {
 			}
 			return n, nil
 		}
+		// shard accepts the "*" wildcard (any shard) where atoi does not.
+		shard := func(i int) (int, error) {
+			if fields[i] == "*" {
+				return AnyShard, nil
+			}
+			return atoi(i)
+		}
 		var err error
 		switch {
 		case fields[0] == "kill" && len(fields) == 2:
@@ -80,8 +117,20 @@ func ParseFaults(s string) (*Injector, error) {
 			if inj.Dup, err = atoi(1); err == nil {
 				inj.DupAt, err = atoi(2)
 			}
+		case fields[0] == "flaky" && len(fields) == 3:
+			if inj.Flaky, err = shard(1); err == nil {
+				inj.FlakyTimes, err = atoi(2)
+			}
+		case fields[0] == "slow" && len(fields) == 3:
+			if inj.Slow, err = shard(1); err == nil {
+				var ms int
+				ms, err = atoi(2)
+				inj.SlowDelay = time.Duration(ms) * time.Millisecond
+			}
+		case fields[0] == "blackhole" && len(fields) == 2:
+			inj.Blackhole, err = shard(1)
 		default:
-			return nil, fmt.Errorf("sweep: bad fault spec %q (want kill:N, truncate:N or dup:N:M)", part)
+			return nil, fmt.Errorf("sweep: bad fault spec %q (want kill:N, truncate:N, dup:N:M, flaky:N:K, slow:N:MS or blackhole:N)", part)
 		}
 		if err != nil {
 			return nil, err
@@ -124,6 +173,44 @@ func (inj *Injector) truncatesShard(i int) bool {
 		return false
 	}
 	return inj.once(fmt.Sprintf("truncate:%d", i))
+}
+
+// matchesShard matches an armed fault index against a shard, honoring
+// the AnyShard wildcard.
+func matchesShard(armed, i int) bool {
+	return armed == i || armed == AnyShard
+}
+
+// flakyFires reports whether this execution of shard i should fail
+// with an endpoint-attributed error: true for the first FlakyTimes
+// matching executions, clean afterwards — fail-N-then-succeed.
+func (inj *Injector) flakyFires(i int) bool {
+	if inj == nil || inj.FlakyTimes <= 0 || !matchesShard(inj.Flaky, i) {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.flakyInit.Do(func() { inj.flakyLeft = inj.FlakyTimes })
+	if inj.flakyLeft <= 0 {
+		return false
+	}
+	inj.flakyLeft--
+	return true
+}
+
+// slowsShard returns the injected delay for shard i (0 for none).
+// Unlike kill, slowness is persistent: every execution pays it.
+func (inj *Injector) slowsShard(i int) time.Duration {
+	if inj == nil || inj.SlowDelay <= 0 || !matchesShard(inj.Slow, i) {
+		return 0
+	}
+	return inj.SlowDelay
+}
+
+// blackholesShard reports whether shard i's execution should hang
+// after accepting the work. Persistent, like a truly dead endpoint.
+func (inj *Injector) blackholesShard(i int) bool {
+	return inj != nil && inj.Blackhole != -1 && matchesShard(inj.Blackhole, i)
 }
 
 // dupShards returns the armed duplicate-copy fault, if any.

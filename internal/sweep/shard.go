@@ -62,6 +62,11 @@ func (d *lineDigest) hex() string { return fmt.Sprintf("%016x", d.h) }
 // mid-shard; a nil injector runs clean.
 func ExecuteShard(ctx context.Context, c *Campaign, sh Shard, w io.Writer, inj *Injector) (int, error) {
 	executed := 0
+	if inj.flakyFires(sh.Index) {
+		// A flaky worker fails before writing anything — the signature of
+		// a refused connection, attributed to the endpoint, not the shard.
+		return executed, EndpointFault(fmt.Errorf("sweep: shard %d: injected flaky failure", sh.Index))
+	}
 	runs, err := c.MaterializeRange(sh.From, sh.To)
 	if err != nil {
 		return executed, err
@@ -76,6 +81,18 @@ func ExecuteShard(ctx context.Context, c *Campaign, sh Shard, w io.Writer, inj *
 	}
 	if _, err := w.Write(append(hdr, '\n')); err != nil {
 		return executed, fmt.Errorf("sweep: write shard %d: %w", sh.Index, err)
+	}
+	if inj.blackholesShard(sh.Index) {
+		// Accept-then-hang: the header is written (the work was accepted)
+		// and then nothing happens until the attempt is cancelled — by a
+		// winning hedge, a shard timeout, or the pass ending.
+		<-ctx.Done()
+		return executed, EndpointFault(fmt.Errorf("sweep: shard %d: blackholed: %w", sh.Index, ctx.Err()))
+	}
+	if d := inj.slowsShard(sh.Index); d > 0 {
+		if !sleepCtx(ctx, d) {
+			return executed, ctx.Err()
+		}
 	}
 	digest := newLineDigest()
 	killAt := -1
